@@ -1,0 +1,98 @@
+"""Evaluate the §VII countermeasures against ESA and GRNA.
+
+Sweeps the rounding defense (b = 1..4 digits) against both attacks on a
+multi-class LR deployment, then compares dropout-regularized NN training
+against the undefended model, reproducing the qualitative conclusions of
+Fig. 11: rounding kills ESA but not GRNA; dropout only dents GRNA.
+
+Run:
+    python examples/defense_evaluation.py
+"""
+
+import numpy as np
+
+from repro.attacks import (
+    EqualitySolvingAttack,
+    GenerativeRegressionNetwork,
+    RandomGuessAttack,
+)
+from repro.datasets import load_dataset
+from repro.defenses import NoisyModel, RoundedModel
+from repro.federated import FeaturePartition, train_vertical_model
+from repro.metrics import mse_per_feature
+from repro.models import LogisticRegression, MLPClassifier
+from repro.nn.data import train_test_split
+
+GRNA_KW = dict(hidden_sizes=(256, 128, 64), epochs=40)
+
+
+def main() -> None:
+    ds = load_dataset("drive", n_samples=2000)
+    X_train, X_pool, y_train, y_pool = train_test_split(ds.X, ds.y, rng=0)
+    partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=0)
+    view = partition.adversary_view()
+
+    # ------------------------------------------------------------------
+    # Rounding vs ESA and GRNA (LR model).
+    # ------------------------------------------------------------------
+    lr_model = LogisticRegression(epochs=100, lr=1.0, rng=0)
+    vfl = train_vertical_model(lr_model, X_train, y_train, X_pool, y_pool, partition)
+    X_adv = vfl.adversary_features()[:600]
+    truth = vfl.ground_truth_target()[:600]
+    rg_mse = mse_per_feature(
+        RandomGuessAttack(view, rng=0).run(X_adv).x_target_hat, truth
+    )
+
+    print("[rounding defense / LR model]")
+    print(f"  {'defense':>12}  {'ESA mse':>9}  {'GRNA mse':>9}   (random guess: {rg_mse:.4f})")
+    for label, digits in (("none", None), ("b=4", 4), ("b=3", 3), ("b=2", 2), ("b=1", 1)):
+        served = lr_model if digits is None else RoundedModel(lr_model, digits)
+        vfl.model = served
+        V = vfl.predict(np.arange(600))
+
+        esa = EqualitySolvingAttack(lr_model, view)
+        esa_mse = mse_per_feature(esa.run(X_adv, V).x_target_hat, truth)
+
+        grna = GenerativeRegressionNetwork(lr_model, view, rng=1, **GRNA_KW)
+        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
+        print(f"  {label:>12}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
+    vfl.model = lr_model
+
+    # ------------------------------------------------------------------
+    # Additive noise as an alternative perturbation family.
+    # ------------------------------------------------------------------
+    print("\n[noise defense / LR model]")
+    print(f"  {'scale':>12}  {'ESA mse':>9}  {'GRNA mse':>9}")
+    for scale in (0.001, 0.01, 0.05):
+        vfl.model = NoisyModel(lr_model, scale, rng=2)
+        V = vfl.predict(np.arange(600))
+        esa_mse = mse_per_feature(
+            EqualitySolvingAttack(lr_model, view).run(X_adv, V).x_target_hat, truth
+        )
+        grna = GenerativeRegressionNetwork(lr_model, view, rng=1, **GRNA_KW)
+        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
+        print(f"  {scale:>12}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
+    vfl.model = lr_model
+
+    # ------------------------------------------------------------------
+    # Dropout vs GRNA (NN model).
+    # ------------------------------------------------------------------
+    print("\n[dropout defense / NN model]")
+    print(f"  {'dropout':>12}  {'model acc':>9}  {'GRNA mse':>9}")
+    for dropout in (0.0, 0.25, 0.5):
+        nn = MLPClassifier(hidden_sizes=(64, 32), epochs=12, dropout=dropout, rng=0)
+        vfl_nn = train_vertical_model(nn, X_train, y_train, X_pool, y_pool, partition)
+        V = vfl_nn.predict(np.arange(600))
+        grna = GenerativeRegressionNetwork(nn, view, rng=1, **GRNA_KW)
+        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
+        acc = nn.score(X_pool, y_pool)
+        print(f"  {dropout:>12}  {acc:>9.3f}  {grna_mse:>9.4f}")
+
+    print("\nconclusions (paper Fig. 11): rounding to one digit breaks ESA but")
+    print("leaves GRNA nearly intact; dropout costs model accuracy for only a")
+    print("mild increase in GRNA error — output perturbation alone is not a")
+    print("sufficient defense against correlation-learning attacks.")
+
+
+if __name__ == "__main__":
+    main()

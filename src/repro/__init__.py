@@ -1,0 +1,45 @@
+"""repro — Feature Inference Attacks on Vertical Federated Learning Predictions.
+
+A from-scratch reproduction of Luo, Wu, Xiao, Ooi, *"Feature Inference
+Attack on Model Predictions in Vertical Federated Learning"* (ICDE 2021),
+including every substrate the paper depends on: a reverse-mode autodiff
+engine, a neural-network framework, LR/MLP/decision-tree/random-forest
+models, a vertical-FL simulation layer, the three attacks (ESA, PRA,
+GRNA), the §VII countermeasures, and an experiment harness regenerating
+each table and figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.federated import FeaturePartition
+>>> from repro.models import LogisticRegression
+>>> from repro.attacks import EqualitySolvingAttack
+>>> ds = load_dataset("drive", n_samples=2000)
+>>> partition = FeaturePartition.adversary_target(ds.n_features, 0.2, rng=0)
+>>> view = partition.adversary_view()
+>>> model = LogisticRegression(epochs=20, rng=0).fit(ds.X, ds.y)
+>>> x_adv, _ = view.split(ds.X)
+>>> attack = EqualitySolvingAttack(model, view)
+>>> result = attack.run(x_adv, model.predict_proba(ds.X))
+>>> result.x_target_hat.shape == (2000, view.d_target)
+True
+"""
+
+from repro import attacks, datasets, defenses, experiments, federated, metrics, models, nn, tensor
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "datasets",
+    "defenses",
+    "experiments",
+    "federated",
+    "metrics",
+    "models",
+    "nn",
+    "tensor",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Attack interfaces and result containers.
+
+Every attack consumes only what the threat model grants the adversary
+(§III-B/C): the released model parameters ``θ``, the confidence scores
+``v``, and the adversary's own feature columns ``x_adv``. Ground truth
+never enters an attack — it is used exclusively by the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.federated.partition import AdversaryView
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a feature-inference attack.
+
+    Attributes
+    ----------
+    x_target_hat:
+        Reconstructed target features, shape ``(n_samples, d_target)``.
+        ``None`` for attacks that produce structural constraints instead of
+        point estimates (PRA exposes its own result type).
+    view:
+        The adversary/target column split the attack ran under.
+    info:
+        Attack-specific diagnostics (losses, equation ranks, ...).
+    """
+
+    x_target_hat: np.ndarray | None
+    view: AdversaryView
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+class FeatureInferenceAttack:
+    """Base class fixing the attack call signature of Eqn 2.
+
+    ``x̂_target = A(x_adv, v, θ)`` — subclasses implement :meth:`run`.
+    """
+
+    def run(self, x_adv: np.ndarray, v: np.ndarray) -> AttackResult:
+        """Execute the attack on accumulated predictions."""
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""Random-guess baselines (§VI-A "Baselines").
+
+Two value-reconstruction baselines: draw feature guesses from ``U(0, 1)``
+or from ``N(0.5, 0.25²)`` — the Gaussian is parameterized so "at least 95%
+samples are within (0, 1)". For tree attacks the baseline picks a
+uniformly random root-to-leaf path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, FeatureInferenceAttack
+from repro.exceptions import ValidationError
+from repro.federated.partition import AdversaryView
+from repro.models.tree import TreeStructure
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_matrix
+
+
+class RandomGuessAttack(FeatureInferenceAttack):
+    """Guess every unknown feature value from a fixed distribution.
+
+    Parameters
+    ----------
+    view:
+        The adversary/target split (defines how many columns to guess).
+    distribution:
+        ``"uniform"`` for U(0,1) or ``"gaussian"`` for N(0.5, 0.25²).
+    """
+
+    def __init__(
+        self,
+        view: AdversaryView,
+        *,
+        distribution: str = "uniform",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if distribution not in ("uniform", "gaussian"):
+            raise ValidationError(
+                f"distribution must be 'uniform' or 'gaussian', got {distribution!r}"
+            )
+        self.view = view
+        self.distribution = distribution
+        self.rng = check_random_state(rng)
+
+    def run(self, x_adv: np.ndarray, v: np.ndarray | None = None) -> AttackResult:
+        """Guess target features for each row of ``x_adv``; ``v`` is unused."""
+        x_adv = check_matrix(np.atleast_2d(x_adv), name="x_adv")
+        n = x_adv.shape[0]
+        shape = (n, self.view.d_target)
+        if self.distribution == "uniform":
+            guess = self.rng.random(shape)
+        else:
+            guess = self.rng.normal(0.5, 0.25, size=shape)
+        return AttackResult(
+            x_target_hat=guess,
+            view=self.view,
+            info={"distribution": self.distribution},
+        )
+
+
+def random_path(
+    structure: TreeStructure, rng: np.random.Generator | int | None = None
+) -> list[int]:
+    """Pick a uniformly random root-to-leaf path (PRA's baseline)."""
+    rng = check_random_state(rng)
+    leaves = structure.leaf_indices()
+    if leaves.size == 0:
+        raise ValidationError("tree has no leaves")
+    leaf = int(rng.choice(leaves))
+    return structure.path_to(leaf)

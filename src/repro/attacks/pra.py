@@ -1,0 +1,170 @@
+"""Path Restriction Attack (PRA) on decision-tree predictions (§IV-B).
+
+Algorithm 1 of the paper, implemented on the full-binary-tree layout
+exported by :meth:`repro.models.tree.DecisionTreeClassifier.tree_structure`:
+
+1. Propagate an indicator vector β from the root: at nodes testing an
+   *adversary* feature, only the branch consistent with the adversary's own
+   value stays live; at target-feature nodes both branches stay live.
+2. Intersect with the indicator α of leaves labeled with the observed
+   predicted class.
+3. The surviving leaves are the candidate prediction paths; the adversary
+   picks one uniformly at random and reads the branch constraints on the
+   target's features off that path.
+
+Beyond the paper's CBR evaluation, :meth:`PathRestrictionAttack.infer_intervals`
+converts a candidate path into per-feature value intervals — the concrete
+leakage ("deposit > 5K" in the paper's Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AttackError
+from repro.federated.partition import AdversaryView
+from repro.metrics.branching import path_branch_decisions
+from repro.models.tree import TreeStructure
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_vector
+
+
+@dataclass
+class PathRestrictionResult:
+    """Outcome of PRA for a single sample.
+
+    Attributes
+    ----------
+    candidate_leaves:
+        Full-tree slot indices of leaves compatible with the adversary's
+        features and the predicted class.
+    selected_path:
+        The uniformly-selected candidate path (root → leaf slot indices).
+    n_paths_total / n_paths_restricted:
+        Leaf counts before and after restriction (the n_p → n_r reduction
+        the paper quotes in Example 2).
+    indicator:
+        Final β vector of Algorithm 1 (after the α intersection).
+    """
+
+    candidate_leaves: np.ndarray
+    selected_path: list[int]
+    n_paths_total: int
+    n_paths_restricted: int
+    indicator: np.ndarray = field(repr=False)
+
+
+class PathRestrictionAttack:
+    """Restrict a decision tree's prediction paths from one prediction.
+
+    Parameters
+    ----------
+    structure:
+        Full-binary-tree export of the released DT model.
+    view:
+        Adversary/target column split over the joint feature space.
+    """
+
+    def __init__(self, structure: TreeStructure, view: AdversaryView) -> None:
+        self.structure = structure
+        self.view = view
+        self._adv_features = set(int(i) for i in view.adversary_indices)
+
+    def restrict(self, x_adv: np.ndarray, predicted_class: int) -> np.ndarray:
+        """Algorithm 1: return β over all tree slots (1 = live leaf).
+
+        Parameters
+        ----------
+        x_adv:
+            The adversary's feature values, indexed by ``view.adversary_indices``
+            order (i.e. as returned by ``AdversaryView.split``).
+        predicted_class:
+            The class label revealed by the prediction output.
+        """
+        x_adv = check_vector(x_adv, name="x_adv")
+        if x_adv.shape[0] != self.view.d_adv:
+            raise AttackError(
+                f"x_adv has {x_adv.shape[0]} entries, expected d_adv={self.view.d_adv}"
+            )
+        structure = self.structure
+        adv_value = {
+            int(feat): float(val)
+            for feat, val in zip(self.view.adversary_indices, x_adv)
+        }
+
+        beta = np.zeros(structure.n_nodes, dtype=np.int8)  # line 1
+        beta[0] = 1  # line 3: the root is always evaluated
+        queue = [0]  # line 2
+        while queue:  # lines 4-14
+            i = queue.pop(0)
+            if structure.is_leaf[i] or not structure.exists[i]:
+                continue
+            feature = int(structure.feature[i])
+            left, right = 2 * i + 1, 2 * i + 2
+            if feature in self._adv_features:  # lines 6-10
+                if adv_value[feature] <= structure.threshold[i]:
+                    beta[left], beta[right] = beta[i], 0
+                else:
+                    beta[left], beta[right] = 0, beta[i]
+            else:  # line 12: target feature, both branches possible
+                beta[left] = beta[right] = beta[i]
+            queue.append(left)  # lines 13-14
+            queue.append(right)
+
+        # line 15: α marks leaves carrying the predicted class.
+        alpha = np.zeros(structure.n_nodes, dtype=np.int8)
+        leaf_mask = structure.exists & structure.is_leaf
+        alpha[leaf_mask & (structure.leaf_label == predicted_class)] = 1
+        return (alpha * beta).astype(np.int8)  # lines 16-17
+
+    def run(
+        self,
+        x_adv: np.ndarray,
+        predicted_class: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> PathRestrictionResult:
+        """Restrict paths and select one candidate uniformly at random."""
+        indicator = self.restrict(x_adv, predicted_class)
+        candidates = np.flatnonzero(indicator)
+        if candidates.size == 0:
+            raise AttackError(
+                "no candidate paths survive restriction; the observed class and "
+                "the adversary's features are inconsistent with this tree"
+            )
+        rng = check_random_state(rng)
+        leaf = int(rng.choice(candidates))
+        return PathRestrictionResult(
+            candidate_leaves=candidates,
+            selected_path=self.structure.path_to(leaf),
+            n_paths_total=self.structure.n_prediction_paths(),
+            n_paths_restricted=int(candidates.size),
+            indicator=indicator,
+        )
+
+    def infer_intervals(
+        self,
+        path: list[int],
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> dict[int, tuple[float, float]]:
+        """Target-feature value intervals implied by a candidate path.
+
+        Every target-feature decision on ``path`` tightens that feature's
+        interval: going left imposes ``value <= threshold``, going right
+        ``value > threshold``. Features the path never tests keep the full
+        ``(low, high)`` range and are omitted.
+        """
+        intervals: dict[int, tuple[float, float]] = {}
+        for feature, threshold, went_left in path_branch_decisions(self.structure, path):
+            if feature in self._adv_features:
+                continue
+            lo, hi = intervals.get(feature, (low, high))
+            if went_left:
+                hi = min(hi, threshold)
+            else:
+                lo = max(lo, threshold)
+            intervals[feature] = (lo, hi)
+        return intervals

@@ -1,0 +1,26 @@
+"""Datasets: synthetic generators, Table II registry, and scaling."""
+
+from repro.datasets.registry import (
+    Dataset,
+    DatasetSpec,
+    SPECS,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    table2_rows,
+)
+from repro.datasets.scaling import MinMaxScaler
+from repro.datasets.synthetic import make_classification, make_correlated_tabular
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "SPECS",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "table2_rows",
+    "MinMaxScaler",
+    "make_classification",
+    "make_correlated_tabular",
+]

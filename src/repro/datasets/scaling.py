@@ -1,0 +1,69 @@
+"""Feature scaling.
+
+The paper normalizes "the ranges of all feature values in each dataset into
+(0, 1) before training the models" (§VI-A). :class:`MinMaxScaler`
+implements the standard per-column min-max map, with an inverse transform
+so reconstructed features can be reported in original units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_matrix
+
+
+class MinMaxScaler:
+    """Map each column of a matrix into ``[0, 1]`` by its observed range.
+
+    Constant columns are mapped to 0.5 (their midpoint) rather than raising
+    — the paper's datasets contain near-constant indicator columns after
+    one-hot encoding.
+    """
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima and ranges."""
+        X = check_matrix(X, name="X")
+        self.min_ = X.min(axis=0)
+        self.range_ = X.max(axis=0) - self.min_
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale columns into [0, 1]; constant columns map to 0.5."""
+        self._check_fitted()
+        X = check_matrix(X, name="X")
+        if X.shape[1] != self.min_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, scaler was fitted with {self.min_.shape[0]}"
+            )
+        out = np.empty_like(X)
+        nonconstant = self.range_ > 0
+        out[:, nonconstant] = (
+            X[:, nonconstant] - self.min_[nonconstant]
+        ) / self.range_[nonconstant]
+        out[:, ~nonconstant] = 0.5
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` then scale it."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X_scaled: np.ndarray) -> np.ndarray:
+        """Map scaled values back to original units."""
+        self._check_fitted()
+        X_scaled = check_matrix(X_scaled, name="X_scaled")
+        if X_scaled.shape[1] != self.min_.shape[0]:
+            raise ValidationError(
+                f"X_scaled has {X_scaled.shape[1]} columns, scaler was fitted with "
+                f"{self.min_.shape[0]}"
+            )
+        return X_scaled * self.range_ + self.min_
+
+    def _check_fitted(self) -> None:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted; call fit first")

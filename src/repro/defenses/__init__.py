@@ -1,0 +1,22 @@
+"""Countermeasures against prediction-output feature inference (§VII)."""
+
+from repro.defenses.rounding import RoundedModel, round_confidence_scores
+from repro.defenses.noise import NoisyModel, noise_confidence_scores
+from repro.defenses.screening import (
+    ScreeningReport,
+    drop_flagged_features,
+    screen_collaboration,
+)
+from repro.defenses.verification import LeakageVerifier, VerificationDecision
+
+__all__ = [
+    "RoundedModel",
+    "round_confidence_scores",
+    "NoisyModel",
+    "noise_confidence_scores",
+    "ScreeningReport",
+    "screen_collaboration",
+    "drop_flagged_features",
+    "LeakageVerifier",
+    "VerificationDecision",
+]

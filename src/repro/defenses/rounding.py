@@ -1,0 +1,57 @@
+"""Confidence-score rounding defense (§VII, Fig. 11a-d).
+
+The active party receives confidence scores rounded *down* to ``b``
+floating-point digits. Rounding to one digit destroys ESA (its equations
+involve ``ln v``, so coarse v perturbs the right-hand side wildly) but
+barely affects GRNA, which learns coarse correlations (the paper's
+conclusion from Fig. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.base import BaseClassifier
+from repro.utils.validation import check_positive_int
+
+
+def round_confidence_scores(v: np.ndarray, digits: int) -> np.ndarray:
+    """Round confidence scores *down* to ``digits`` decimal digits.
+
+    Matches the paper's "round v down to b floating point digits"; the
+    resulting rows may sum to slightly less than 1, exactly as a deployed
+    truncation would behave.
+    """
+    digits = check_positive_int(digits, name="digits")
+    v = np.asarray(v, dtype=np.float64)
+    scale = 10.0 ** digits
+    return np.floor(v * scale) / scale
+
+
+class RoundedModel(BaseClassifier):
+    """Wrap a fitted model so its confidence outputs are truncated.
+
+    The wrapper is itself a :class:`BaseClassifier`, so it slots directly
+    into :class:`repro.federated.VerticalFLModel` — the parties deploy the
+    defense, the adversary attacks the truncated outputs.
+    """
+
+    def __init__(self, model: BaseClassifier, digits: int) -> None:
+        super().__init__()
+        model._check_fitted()
+        self.model = model
+        self.digits = check_positive_int(digits, name="digits")
+        self.n_features_ = model.n_features_
+        self.n_classes_ = model.n_classes_
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RoundedModel":
+        raise ValidationError("RoundedModel wraps an already-fitted model")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return round_confidence_scores(self.model.predict_proba(X), self.digits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        # Truncation is monotone per entry but can create argmax ties;
+        # resolve them the way the untruncated model would.
+        return self.model.predict(X)

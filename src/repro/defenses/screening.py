@@ -1,0 +1,90 @@
+"""Pre-collaboration screening (§VII "Pre-processing before collaboration").
+
+Two checks the parties run *before* agreeing to collaborate:
+
+1. **Class-count check**: if a party contributes ``d_i ≤ c − 1`` features,
+   ESA recovers them exactly from a single LR prediction — the party
+   should contribute more features or demand output protection.
+2. **Correlation screening**: features of one party that are strongly
+   correlated with the other party's features fuel GRNA; the parties
+   compute cross-party correlations (in deployment under MPC; here in the
+   clear, which is behaviour-equivalent for the decision made) and drop
+   the most exposed columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.correlation import mean_abs_correlation_with_columns
+from repro.utils.validation import check_in_range, check_matrix, check_positive_int
+
+
+@dataclass(frozen=True)
+class ScreeningReport:
+    """Outcome of the pre-collaboration vulnerability screen.
+
+    Attributes
+    ----------
+    esa_exact_risk:
+        True when ``d_target ≤ c − 1`` — ESA can solve the target's
+        features exactly from one LR prediction.
+    feature_exposure:
+        Mean absolute cross-party correlation per target feature (higher =
+        more recoverable by GRNA).
+    flagged_features:
+        Target-column indices whose exposure exceeds the threshold.
+    """
+
+    esa_exact_risk: bool
+    feature_exposure: np.ndarray
+    flagged_features: np.ndarray
+    threshold: float
+
+
+def screen_collaboration(
+    X_other: np.ndarray,
+    X_own: np.ndarray,
+    n_classes: int,
+    *,
+    correlation_threshold: float = 0.5,
+) -> ScreeningReport:
+    """Screen ``X_own`` for leakage risk against a partner holding ``X_other``.
+
+    Parameters
+    ----------
+    X_other:
+        The partner coalition's columns (the potential adversary).
+    X_own:
+        This party's columns (the potential target).
+    n_classes:
+        Classes of the model about to be trained.
+    correlation_threshold:
+        Exposure above which a feature is flagged for removal.
+    """
+    X_other = check_matrix(X_other, name="X_other")
+    X_own = check_matrix(X_own, name="X_own")
+    n_classes = check_positive_int(n_classes, name="n_classes")
+    check_in_range(correlation_threshold, name="correlation_threshold", low=0.0, high=1.0)
+    exposure = np.array(
+        [
+            mean_abs_correlation_with_columns(X_other, X_own[:, i])
+            for i in range(X_own.shape[1])
+        ]
+    )
+    flagged = np.flatnonzero(exposure > correlation_threshold)
+    return ScreeningReport(
+        esa_exact_risk=X_own.shape[1] <= n_classes - 1,
+        feature_exposure=exposure,
+        flagged_features=flagged,
+        threshold=float(correlation_threshold),
+    )
+
+
+def drop_flagged_features(X_own: np.ndarray, report: ScreeningReport) -> np.ndarray:
+    """Remove the flagged columns from a party's contribution."""
+    X_own = check_matrix(X_own, name="X_own")
+    keep = np.setdiff1d(np.arange(X_own.shape[1]), report.flagged_features)
+    return X_own[:, keep]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at an API boundary while still discriminating
+finer-grained failures when they care.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, dtype, range, ...)."""
+
+
+class ShapeError(ValidationError):
+    """Two arrays have incompatible shapes for the requested operation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge within its budget."""
+
+
+class GradientError(ReproError, RuntimeError):
+    """Backward pass failed or produced gradients of unexpected shape."""
+
+
+class PartitionError(ValidationError):
+    """A vertical feature partition is malformed (overlap, gap, empty)."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The simulated VFL protocol was driven in an invalid order."""
+
+
+class AttackError(ReproError, RuntimeError):
+    """An attack could not be executed with the given inputs."""
+
+
+class DatasetError(ValidationError):
+    """A dataset specification or generated dataset is invalid."""

@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.config import (
+    DEFAULT,
+    FULL,
+    PAPER_FRACTIONS,
+    PRESETS,
+    SMOKE,
+    ScaleConfig,
+    get_scale,
+)
+from repro.experiments.common import VFLScenario, build_scenario, make_model
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.figures import (
+    fig5_esa,
+    fig6_pra,
+    fig7_grna,
+    fig8_grna_rf_cbr,
+    fig9_num_predictions,
+    fig10_correlations,
+    fig11_defenses,
+)
+from repro.experiments.tables import table2_datasets, table3_ablation
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ScaleConfig",
+    "SMOKE",
+    "DEFAULT",
+    "FULL",
+    "PRESETS",
+    "PAPER_FRACTIONS",
+    "get_scale",
+    "VFLScenario",
+    "build_scenario",
+    "make_model",
+    "ExperimentResult",
+    "fig5_esa",
+    "fig6_pra",
+    "fig7_grna",
+    "fig8_grna_rf_cbr",
+    "fig9_num_predictions",
+    "fig10_correlations",
+    "fig11_defenses",
+    "table2_datasets",
+    "table3_ablation",
+    "EXPERIMENTS",
+    "run_experiment",
+]

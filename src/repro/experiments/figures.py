@@ -1,0 +1,510 @@
+"""Runners regenerating every figure of the paper's evaluation (§VI).
+
+Each ``figN`` function returns an :class:`ExperimentResult` whose rows are
+the series plotted in the corresponding figure. Absolute values depend on
+the synthetic stand-in datasets (see DESIGN.md); the claims under
+reproduction are the *shapes*: who beats whom, monotonicity in d_target,
+and where the exactness threshold falls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import (
+    EqualitySolvingAttack,
+    GenerativeRegressionNetwork,
+    PathRestrictionAttack,
+    RandomGuessAttack,
+    attack_random_forest,
+    random_path,
+)
+from repro.defenses import RoundedModel
+from repro.experiments.common import build_scenario, grna_kwargs_from_scale
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.experiments.reporting import ExperimentResult
+from repro.metrics import (
+    aggregate_cbr,
+    correlation_report,
+    feature_wise_mse,
+    mse_per_feature,
+    path_cbr,
+    reconstruction_cbr,
+)
+from repro.models import RandomForestDistiller
+from repro.utils.random import check_random_state, spawn_rngs
+
+REAL_DATASETS = ("bank", "credit", "drive", "news")
+
+
+def _trial_seeds(seed: int, n_trials: int) -> list[int]:
+    rng = check_random_state(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n_trials)]
+
+
+def _random_guess_mses(
+    view, X_adv: np.ndarray, X_target: np.ndarray, rng
+) -> tuple[float, float]:
+    uniform = RandomGuessAttack(view, distribution="uniform", rng=rng).run(X_adv)
+    gaussian = RandomGuessAttack(view, distribution="gaussian", rng=rng).run(X_adv)
+    return (
+        mse_per_feature(uniform.x_target_hat, X_target),
+        mse_per_feature(gaussian.x_target_hat, X_target),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — Equality Solving Attack, MSE per feature vs d_target
+# ----------------------------------------------------------------------
+def fig5_esa(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 5,
+) -> ExperimentResult:
+    """ESA vs random guess across d_target fractions (Fig. 5 series)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for fraction in scale.fractions:
+            esa_mses, rg_u, rg_g, exact_flags = [], [], [], []
+            for trial_seed in _trial_seeds(seed, scale.n_trials):
+                scenario = build_scenario(dataset, "lr", fraction, scale, trial_seed)
+                attack = EqualitySolvingAttack(scenario.model, scenario.view)
+                result = attack.run(scenario.X_adv, scenario.V)
+                esa_mses.append(mse_per_feature(result.x_target_hat, scenario.X_target))
+                exact_flags.append(attack.is_exact)
+                u, g = _random_guess_mses(
+                    scenario.view, scenario.X_adv, scenario.X_target, trial_seed
+                )
+                rg_u.append(u)
+                rg_g.append(g)
+            rows.append(
+                (
+                    dataset,
+                    int(round(fraction * 100)),
+                    float(np.mean(esa_mses)),
+                    float(np.mean(rg_u)),
+                    float(np.mean(rg_g)),
+                    all(exact_flags),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="ESA: MSE per feature vs d_target fraction",
+        columns=["dataset", "dtarget_pct", "esa_mse", "rg_uniform_mse", "rg_gaussian_mse", "exact"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — Path Restriction Attack, CBR vs d_target
+# ----------------------------------------------------------------------
+def fig6_pra(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 6,
+) -> ExperimentResult:
+    """PRA vs random-path guess across d_target fractions (Fig. 6 series)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for fraction in scale.fractions:
+            pra_rates, rg_rates, restricted = [], [], []
+            for trial_seed in _trial_seeds(seed, scale.n_trials):
+                scenario = build_scenario(dataset, "dt", fraction, scale, trial_seed)
+                structure = scenario.model.tree_structure()
+                attack = PathRestrictionAttack(structure, scenario.view)
+                attack_rng, guess_rng = spawn_rngs(trial_seed, 2)
+                labels = np.argmax(scenario.V, axis=1)
+                counts, rg_counts = [], []
+                for i in range(scenario.X_adv.shape[0]):
+                    result = attack.run(scenario.X_adv[i], int(labels[i]), rng=attack_rng)
+                    counts.append(
+                        path_cbr(
+                            structure,
+                            result.selected_path,
+                            scenario.X_pred_full[i],
+                            scenario.view.target_indices,
+                        )
+                    )
+                    rg_counts.append(
+                        path_cbr(
+                            structure,
+                            random_path(structure, guess_rng),
+                            scenario.X_pred_full[i],
+                            scenario.view.target_indices,
+                        )
+                    )
+                    restricted.append(result.n_paths_restricted / result.n_paths_total)
+                pra_rates.append(aggregate_cbr(counts))
+                rg_rates.append(aggregate_cbr(rg_counts))
+            rows.append(
+                (
+                    dataset,
+                    int(round(fraction * 100)),
+                    float(np.nanmean(pra_rates)),
+                    float(np.nanmean(rg_rates)),
+                    float(np.mean(restricted)),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="PRA: correct branching rate vs d_target fraction",
+        columns=["dataset", "dtarget_pct", "pra_cbr", "rg_cbr", "restricted_fraction"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — GRNA MSE for LR / RF / NN models
+# ----------------------------------------------------------------------
+def fig7_grna(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    models: tuple[str, ...] = ("lr", "rf", "nn"),
+    seed: int = 7,
+) -> ExperimentResult:
+    """GRNA on LR/RF/NN vs random guess (Fig. 7 series)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for fraction in scale.fractions:
+            per_model: dict[str, list[float]] = {m: [] for m in models}
+            rg_u, rg_g = [], []
+            for trial_seed in _trial_seeds(seed, scale.n_trials):
+                for model_kind in models:
+                    scenario = build_scenario(
+                        dataset, model_kind, fraction, scale, trial_seed
+                    )
+                    x_hat = _run_grna(scenario, model_kind, scale, trial_seed)
+                    per_model[model_kind].append(
+                        mse_per_feature(x_hat, scenario.X_target)
+                    )
+                u, g = _random_guess_mses(
+                    scenario.view, scenario.X_adv, scenario.X_target, trial_seed
+                )
+                rg_u.append(u)
+                rg_g.append(g)
+            rows.append(
+                (
+                    dataset,
+                    int(round(fraction * 100)),
+                    *(float(np.mean(per_model[m])) for m in models),
+                    float(np.mean(rg_u)),
+                    float(np.mean(rg_g)),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="GRNA: MSE per feature vs d_target fraction (LR/RF/NN)",
+        columns=[
+            "dataset",
+            "dtarget_pct",
+            *(f"grna_{m}_mse" for m in models),
+            "rg_uniform_mse",
+            "rg_gaussian_mse",
+        ],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+def _run_grna(scenario, model_kind: str, scale: ScaleConfig, trial_seed: int) -> np.ndarray:
+    """Run GRNA against a scenario, distilling first for forests."""
+    grna_rng, distill_rng = spawn_rngs(trial_seed + 1, 2)
+    kwargs = grna_kwargs_from_scale(scale, grna_rng)
+    if model_kind == "rf":
+        distiller = RandomForestDistiller(
+            hidden_sizes=scale.distiller_hidden,
+            n_dummy=scale.distiller_dummy,
+            epochs=scale.distiller_epochs,
+            rng=distill_rng,
+        )
+        result, _ = attack_random_forest(
+            scenario.model,
+            scenario.view,
+            scenario.X_adv,
+            scenario.V,
+            distiller=distiller,
+            grna_kwargs=kwargs,
+        )
+        return result.x_target_hat
+    attack = GenerativeRegressionNetwork(scenario.model, scenario.view, **kwargs)
+    return attack.run(scenario.X_adv, scenario.V).x_target_hat
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — GRNA on the RF model, CBR metric
+# ----------------------------------------------------------------------
+def fig8_grna_rf_cbr(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 8,
+) -> ExperimentResult:
+    """Branch agreement of GRNA reconstructions on the true forest (Fig. 8)."""
+    scale = get_scale(scale)
+    rows = []
+    for dataset in datasets:
+        for fraction in scale.fractions:
+            grna_rates, rg_rates = [], []
+            for trial_seed in _trial_seeds(seed, scale.n_trials):
+                scenario = build_scenario(dataset, "rf", fraction, scale, trial_seed)
+                x_hat = _run_grna(scenario, "rf", scale, trial_seed)
+                full_hat = scenario.view.assemble(scenario.X_adv, x_hat)
+                guess = RandomGuessAttack(
+                    scenario.view, distribution="uniform", rng=trial_seed
+                ).run(scenario.X_adv)
+                full_guess = scenario.view.assemble(
+                    scenario.X_adv, guess.x_target_hat
+                )
+                structures = scenario.model.tree_structures()
+                counts, rg_counts = [], []
+                for i in range(scenario.X_pred_full.shape[0]):
+                    for structure in structures:
+                        counts.append(
+                            reconstruction_cbr(
+                                structure,
+                                scenario.X_pred_full[i],
+                                full_hat[i],
+                                scenario.view.target_indices,
+                            )
+                        )
+                        rg_counts.append(
+                            reconstruction_cbr(
+                                structure,
+                                scenario.X_pred_full[i],
+                                full_guess[i],
+                                scenario.view.target_indices,
+                            )
+                        )
+                grna_rates.append(aggregate_cbr(counts))
+                rg_rates.append(aggregate_cbr(rg_counts))
+            rows.append(
+                (
+                    dataset,
+                    int(round(fraction * 100)),
+                    float(np.nanmean(grna_rates)),
+                    float(np.nanmean(rg_rates)),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="GRNA on RF: correct branching rate vs d_target fraction",
+        columns=["dataset", "dtarget_pct", "grna_cbr", "rg_cbr"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — effect of the number of accumulated predictions
+# ----------------------------------------------------------------------
+def fig9_num_predictions(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = ("synthetic1", "synthetic2", "drive", "news"),
+    pool_fractions: tuple[float, ...] = (0.1, 0.3, 0.5),
+    seed: int = 9,
+) -> ExperimentResult:
+    """GRNA-NN accuracy vs number of accumulated predictions (Fig. 9)."""
+    scale = get_scale(scale)
+    rows = []
+    pool_size = scale.n_samples // 2  # half the data is the prediction pool
+    for dataset in datasets:
+        for fraction in scale.fractions:
+            for pool_fraction in pool_fractions:
+                n_pred = max(16, int(pool_size * pool_fraction))
+                mses, rg_u, rg_g = [], [], []
+                for trial_seed in _trial_seeds(seed, scale.n_trials):
+                    scenario = build_scenario(
+                        dataset,
+                        "nn",
+                        fraction,
+                        scale,
+                        trial_seed,
+                        n_predictions=n_pred,
+                    )
+                    x_hat = _run_grna(scenario, "nn", scale, trial_seed)
+                    mses.append(mse_per_feature(x_hat, scenario.X_target))
+                    u, g = _random_guess_mses(
+                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
+                    )
+                    rg_u.append(u)
+                    rg_g.append(g)
+                rows.append(
+                    (
+                        dataset,
+                        int(round(fraction * 100)),
+                        int(round(pool_fraction * 100)),
+                        float(np.mean(mses)),
+                        float(np.mean(rg_u)),
+                        float(np.mean(rg_g)),
+                    )
+                )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="GRNA-NN: effect of number of accumulated predictions",
+        columns=[
+            "dataset",
+            "dtarget_pct",
+            "predictions_pct",
+            "grna_mse",
+            "rg_uniform_mse",
+            "rg_gaussian_mse",
+        ],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — per-feature MSE vs correlation diagnostics
+# ----------------------------------------------------------------------
+def fig10_correlations(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    seed: int = 10,
+) -> ExperimentResult:
+    """Per-feature reconstruction error vs correlation with x_adv and v.
+
+    Panel (a): bank + LR at d_target = 40%; panel (b): credit + RF at 30%,
+    as in the paper.
+    """
+    scale = get_scale(scale)
+    rows = []
+    panels = [("bank", "lr", 0.4), ("credit", "rf", 0.3)]
+    for dataset, model_kind, fraction in panels:
+        trial_seed = _trial_seeds(seed, 1)[0]
+        scenario = build_scenario(dataset, model_kind, fraction, scale, trial_seed)
+        x_hat = _run_grna(scenario, model_kind, scale, trial_seed)
+        report = correlation_report(
+            scenario.X_adv,
+            scenario.X_target,
+            scenario.V,
+            feature_wise_mse(x_hat, scenario.X_target),
+        )
+        for feature_id, mse, corr_adv, corr_pred in report.rows():
+            rows.append(
+                (dataset, model_kind, feature_id, mse, corr_adv, corr_pred)
+            )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Per-feature MSE vs correlation with x_adv and predictions",
+        columns=["dataset", "model", "feature_id", "mse", "corr_with_adv", "corr_with_pred"],
+        rows=rows,
+        meta={"scale": scale.name, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — countermeasures
+# ----------------------------------------------------------------------
+def fig11_defenses(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Rounding vs ESA/GRNA (panels a-d) and dropout vs GRNA (panels e-f)."""
+    scale = get_scale(scale)
+    rows = []
+    rounding_levels = [("round_0.1", 1), ("round_0.001", 3), ("no_round", None)]
+
+    # Panels (a)-(d): rounding on the LR model, bank + drive.
+    for dataset in ("bank", "drive"):
+        for fraction in scale.fractions:
+            for label, digits in rounding_levels:
+                esa_mses, grna_mses, rg_mses = [], [], []
+                for trial_seed in _trial_seeds(seed, scale.n_trials):
+                    wrapper = (
+                        (lambda m, d=digits: RoundedModel(m, d))
+                        if digits is not None
+                        else None
+                    )
+                    scenario = build_scenario(
+                        dataset, "lr", fraction, scale, trial_seed,
+                        model_wrapper=wrapper,
+                    )
+                    inner = (
+                        scenario.model.model if digits is not None else scenario.model
+                    )
+                    esa = EqualitySolvingAttack(inner, scenario.view)
+                    esa_mses.append(
+                        mse_per_feature(
+                            esa.run(scenario.X_adv, scenario.V).x_target_hat,
+                            scenario.X_target,
+                        )
+                    )
+                    grna_rng = spawn_rngs(trial_seed + 1, 1)[0]
+                    grna = GenerativeRegressionNetwork(
+                        inner, scenario.view,
+                        **grna_kwargs_from_scale(scale, grna_rng),
+                    )
+                    grna_mses.append(
+                        mse_per_feature(
+                            grna.run(scenario.X_adv, scenario.V).x_target_hat,
+                            scenario.X_target,
+                        )
+                    )
+                    u, _ = _random_guess_mses(
+                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
+                    )
+                    rg_mses.append(u)
+                rows.append(
+                    (
+                        dataset,
+                        "lr",
+                        label,
+                        int(round(fraction * 100)),
+                        float(np.mean(esa_mses)),
+                        float(np.mean(grna_mses)),
+                        float(np.mean(rg_mses)),
+                    )
+                )
+
+    # Panels (e)-(f): dropout on the NN model, credit + news.
+    for dataset in ("credit", "news"):
+        for fraction in scale.fractions:
+            for label, dropout in (("dropout", 0.25), ("no_dropout", 0.0)):
+                grna_mses, rg_mses = [], []
+                for trial_seed in _trial_seeds(seed, scale.n_trials):
+                    scenario = build_scenario(
+                        dataset, "nn", fraction, scale, trial_seed, dropout=dropout
+                    )
+                    x_hat = _run_grna(scenario, "nn", scale, trial_seed)
+                    grna_mses.append(mse_per_feature(x_hat, scenario.X_target))
+                    u, _ = _random_guess_mses(
+                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
+                    )
+                    rg_mses.append(u)
+                rows.append(
+                    (
+                        dataset,
+                        "nn",
+                        label,
+                        int(round(fraction * 100)),
+                        float("nan"),
+                        float(np.mean(grna_mses)),
+                        float(np.mean(rg_mses)),
+                    )
+                )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Countermeasures: rounding (LR) and dropout (NN)",
+        columns=[
+            "dataset",
+            "model",
+            "defense",
+            "dtarget_pct",
+            "esa_mse",
+            "grna_mse",
+            "rg_uniform_mse",
+        ],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )

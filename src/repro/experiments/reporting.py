@@ -1,0 +1,104 @@
+"""Result containers and text reporting for experiments.
+
+Every figure/table runner returns an :class:`ExperimentResult`, which knows
+how to print itself as an aligned text table whose rows/series correspond
+to the points plotted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference, e.g. ``"fig5"`` or ``"table3"``.
+    title:
+        Human-readable description.
+    columns:
+        Column headers for :attr:`rows`.
+    rows:
+        The data points; each row is a sequence aligned with ``columns``.
+    meta:
+        Scale, seeds, and other provenance.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render an aligned text table."""
+        header = [str(c) for c in self.columns]
+        body = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.meta:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+            lines.append(f"-- {meta}")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV (header + one line per data point)."""
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_format_csv_cell(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def save(self, path) -> None:
+        """Write the result to ``path`` — ``.csv`` as CSV, otherwise text."""
+        from pathlib import Path
+
+        path = Path(path)
+        content = self.to_csv() if path.suffix == ".csv" else self.to_text() + "\n"
+        path.write_text(content, encoding="utf-8")
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column of the result by header name."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> list[Sequence[Any]]:
+        """Rows whose named columns equal the given values."""
+        indices = {list(self.columns).index(k): v for k, v in criteria.items()}
+        return [
+            row
+            for row in self.rows
+            if all(row[i] == v for i, v in indices.items())
+        ]
+
+
+def _format_csv_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return "" if value != value else repr(value)
+    text = str(value)
+    if "," in text or '"' in text:
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,81 @@
+"""Experiment registry and command-line entry point.
+
+Usage::
+
+    python -m repro.experiments fig5 --scale smoke
+    python -m repro.experiments all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.exceptions import ValidationError
+from repro.experiments import figures, tables
+from repro.experiments.config import PRESETS
+from repro.experiments.reporting import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table2": lambda scale: tables.table2_datasets(),
+    "table3": tables.table3_ablation,
+    "fig5": figures.fig5_esa,
+    "fig6": figures.fig6_pra,
+    "fig7": figures.fig7_grna,
+    "fig8": figures.fig8_grna_rf_cbr,
+    "fig9": figures.fig9_num_predictions,
+    "fig10": figures.fig10_correlations,
+    "fig11": figures.fig11_defenses,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "default") -> ExperimentResult:
+    """Run one experiment by its paper id (``fig5`` ... ``table3``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run one experiment (or ``all``) and print its table."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default="default",
+        help="size preset (smoke: seconds, default: minutes, full: paper-scale)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also save each result as <experiment>.csv in this directory",
+    )
+    args = parser.parse_args(argv)
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, args.scale)
+        print(result.to_text())
+        print()
+        if args.output_dir is not None:
+            from pathlib import Path
+
+            directory = Path(args.output_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            result.save(directory / f"{experiment_id}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Runners for the paper's tables (Table II statistics, Table III ablation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import GenerativeRegressionNetwork, RandomGuessAttack
+from repro.datasets import table2_rows
+from repro.experiments.common import build_scenario, grna_kwargs_from_scale
+from repro.experiments.config import ScaleConfig, get_scale
+from repro.experiments.reporting import ExperimentResult
+from repro.metrics import mse_per_feature
+from repro.utils.random import check_random_state, spawn_rngs
+
+
+def table2_datasets() -> ExperimentResult:
+    """Table II: dataset statistics."""
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Statistics of datasets",
+        columns=["dataset", "samples", "classes", "features"],
+        rows=list(table2_rows()),
+        meta={},
+    )
+
+
+#: The six ablation cases of Table III: which GRN components are enabled.
+ABLATION_CASES = [
+    # (case index, input x_adv, input noise, variance constraint, generator)
+    (1, False, True, True, True),
+    (2, True, False, True, True),
+    (3, True, True, False, True),
+    (4, True, True, True, False),
+    (5, True, True, True, True),
+]
+
+
+def table3_ablation(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    dataset: str = "bank",
+    target_fraction: float = 0.4,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Table III: GRN component ablation (LR model, bank, d_target = 40%)."""
+    scale = get_scale(scale)
+    trial_seeds = [
+        int(s)
+        for s in check_random_state(seed).integers(0, 2**31 - 1, size=scale.n_trials)
+    ]
+    rows = []
+    for case, use_adv, use_noise, use_constraint, use_generator in ABLATION_CASES:
+        mses = []
+        for trial_seed in trial_seeds:
+            scenario = build_scenario(dataset, "lr", target_fraction, scale, trial_seed)
+            grna_rng = spawn_rngs(trial_seed + 1, 1)[0]
+            attack = GenerativeRegressionNetwork(
+                scenario.model,
+                scenario.view,
+                use_adv_input=use_adv,
+                use_noise=use_noise,
+                variance_penalty=1.0 if use_constraint else 0.0,
+                use_generator=use_generator,
+                # Case 4 (no generator) is the paper's *naive regression*:
+                # unbounded free variables, no output squashing.
+                output_activation="sigmoid" if use_generator else "linear",
+                clip_to_unit=False if not use_generator else True,
+                **grna_kwargs_from_scale(scale, grna_rng),
+            )
+            result = attack.run(scenario.X_adv, scenario.V)
+            mses.append(mse_per_feature(result.x_target_hat, scenario.X_target))
+        rows.append(
+            (case, use_adv, use_noise, use_constraint, use_generator, float(np.mean(mses)))
+        )
+
+    # Case 6: random guess.
+    rg_mses = []
+    for trial_seed in trial_seeds:
+        scenario = build_scenario(dataset, "lr", target_fraction, scale, trial_seed)
+        guess = RandomGuessAttack(
+            scenario.view, distribution="uniform", rng=trial_seed
+        ).run(scenario.X_adv)
+        rg_mses.append(mse_per_feature(guess.x_target_hat, scenario.X_target))
+    rows.append((6, False, False, False, False, float(np.mean(rg_mses))))
+
+    return ExperimentResult(
+        experiment_id="table3",
+        title=f"GRN ablation on {dataset} (LR, d_target={int(target_fraction*100)}%)",
+        columns=["case", "input_xadv", "input_noise", "constraint", "generator", "mse"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )

@@ -1,0 +1,19 @@
+"""Vertical federated learning substrate: parties, partitions, protocol."""
+
+from repro.federated.partition import AdversaryView, FeaturePartition
+from repro.federated.party import ActiveParty, Party, PassiveParty
+from repro.federated.model import VerticalFLModel, build_parties, train_vertical_model
+from repro.federated.psi import align_datasets, private_set_intersection
+
+__all__ = [
+    "FeaturePartition",
+    "AdversaryView",
+    "Party",
+    "ActiveParty",
+    "PassiveParty",
+    "VerticalFLModel",
+    "build_parties",
+    "train_vertical_model",
+    "private_set_intersection",
+    "align_datasets",
+]

@@ -1,0 +1,179 @@
+"""The vertical FL model wrapper and its simulated prediction protocol.
+
+Per §VI-A the paper "generates the vertical FL models using centralized
+training and gives the trained models to the adversary", because the threat
+model assumes the *training* computation is perfectly protected and only
+the final model (plus predictions) leaks. :func:`train_vertical_model`
+therefore assembles the parties' aligned column blocks and fits the
+underlying model centrally — the fidelity-relevant part is the *prediction*
+interface below.
+
+:class:`VerticalFLModel.predict` simulates the secure prediction protocol:
+the active party names sample ids, each party feeds its columns into the
+protocol, and **only the confidence-score vector v is revealed** (§II-B).
+The adversary additionally receives the plaintext model parameters through
+:meth:`VerticalFLModel.release_model`, mirroring the paper's assumption
+that θ is released to the active party for interpretability (§III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.federated.partition import FeaturePartition
+from repro.federated.party import ActiveParty, Party, PassiveParty
+from repro.models.base import BaseClassifier
+
+
+class VerticalFLModel:
+    """A trained model jointly served by vertically partitioned parties."""
+
+    def __init__(
+        self,
+        model: BaseClassifier,
+        partition: FeaturePartition,
+        parties: list[Party],
+    ) -> None:
+        model._check_fitted()
+        if partition.n_features != model.n_features_:
+            raise ValidationError(
+                f"partition covers {partition.n_features} features, model uses "
+                f"{model.n_features_}"
+            )
+        if len(parties) != partition.n_parties:
+            raise ValidationError(
+                f"{len(parties)} parties but partition defines {partition.n_parties}"
+            )
+        if not isinstance(parties[0], ActiveParty):
+            raise ProtocolError("party 0 must be the active (label-owning) party")
+        for p in parties[1:]:
+            if isinstance(p, ActiveParty):
+                raise ProtocolError("only party 0 may be active")
+        n = parties[0].n_samples
+        for p in parties:
+            if p.n_samples != n:
+                raise ProtocolError(
+                    "parties hold unaligned datasets; run PSI alignment first"
+                )
+            if not np.array_equal(
+                np.sort(p.feature_indices), partition.indices(p.party_id)
+            ):
+                raise ValidationError(
+                    f"party {p.party_id}'s feature indices disagree with the partition"
+                )
+        self.model = model
+        self.partition = partition
+        self.parties = parties
+        self._n_samples = n
+        self.prediction_log_: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Prediction protocol
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of aligned samples in the joint prediction dataset."""
+        return self._n_samples
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes of the underlying model."""
+        return self.model.n_classes_
+
+    def predict(self, sample_indices: np.ndarray) -> np.ndarray:
+        """Jointly compute confidence scores for the requested samples.
+
+        Simulates the secure protocol: feature values are assembled only
+        inside this call and never returned; the caller (the active party)
+        sees just the confidence-score matrix.
+        """
+        sample_indices = np.asarray(sample_indices, dtype=np.int64).ravel()
+        if sample_indices.size == 0:
+            raise ProtocolError("prediction request with no sample ids")
+        joint = self._assemble(sample_indices)
+        self.prediction_log_.extend(int(i) for i in sample_indices)
+        return self.model.predict_proba(joint)
+
+    def predict_all(self) -> np.ndarray:
+        """Confidence scores for every sample in the prediction dataset."""
+        return self.predict(np.arange(self._n_samples))
+
+    def _assemble(self, sample_indices: np.ndarray) -> np.ndarray:
+        joint = np.empty((sample_indices.size, self.partition.n_features))
+        for party in self.parties:
+            joint[:, party.feature_indices] = party.local_features(sample_indices)
+        return joint
+
+    # ------------------------------------------------------------------
+    # What the adversary legitimately receives
+    # ------------------------------------------------------------------
+    def release_model(self) -> BaseClassifier:
+        """Hand the plaintext trained model to the active party (§III-B)."""
+        return self.model
+
+    def ground_truth_target(self, colluders: tuple[int, ...] = ()) -> np.ndarray:
+        """Target-party feature values — for *evaluation only*.
+
+        The attacks never see this; experiment code uses it to score MSE and
+        CBR against ground truth.
+        """
+        view = self.partition.adversary_view(colluders)
+        joint = self._assemble(np.arange(self._n_samples))
+        return joint[:, view.target_indices]
+
+    def adversary_features(self, colluders: tuple[int, ...] = ()) -> np.ndarray:
+        """The adversary coalition's own feature values for all samples."""
+        coalition = sorted({0, *colluders})
+        all_rows = np.arange(self._n_samples)
+        stacked = np.hstack(
+            [self.parties[pid].local_features(all_rows) for pid in coalition]
+        )
+        joint_cols = np.concatenate(
+            [self.parties[pid].feature_indices for pid in coalition]
+        )
+        # Reorder the coalition's columns into ascending global-column order
+        # so they line up with adversary_view().adversary_indices.
+        return stacked[:, np.argsort(joint_cols)]
+
+
+def build_parties(
+    X: np.ndarray,
+    y: np.ndarray,
+    partition: FeaturePartition,
+) -> list[Party]:
+    """Split a joint dataset into one party object per partition block."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != partition.n_features:
+        raise ValidationError(
+            f"X must be (n, {partition.n_features}), got {np.shape(X)}"
+        )
+    parties: list[Party] = []
+    for pid in range(partition.n_parties):
+        indices = partition.indices(pid)
+        block = X[:, indices]
+        if pid == 0:
+            parties.append(ActiveParty(pid, indices, block, y))
+        else:
+            parties.append(PassiveParty(pid, indices, block))
+    return parties
+
+
+def train_vertical_model(
+    model: BaseClassifier,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_pred: np.ndarray,
+    y_pred: np.ndarray,
+    partition: FeaturePartition,
+) -> VerticalFLModel:
+    """Train ``model`` on the joint training data and serve the prediction set.
+
+    Training is centralized (matching the paper's evaluation protocol, which
+    assumes a perfectly secure training phase); the returned
+    :class:`VerticalFLModel` wraps the *prediction* dataset, which is what
+    the attacks operate on.
+    """
+    model.fit(np.asarray(X_train, dtype=np.float64), np.asarray(y_train, dtype=np.int64))
+    parties = build_parties(X_pred, y_pred, partition)
+    return VerticalFLModel(model, partition, parties)

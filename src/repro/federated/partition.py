@@ -1,0 +1,187 @@
+"""Vertical feature partitions.
+
+A :class:`FeaturePartition` records which columns of the joint feature
+space belong to which party. The attack setting abstracts the ``m`` parties
+into two blocks (§III-C): the adversary coalition ``P_adv`` (active party
+plus colluders) and the attack target ``P_target`` (the remaining passive
+parties); :meth:`FeaturePartition.adversary_view` collapses any partition
+into that two-block form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PartitionError
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Two-block view of a partition: adversary columns vs target columns."""
+
+    n_features: int
+    adversary_indices: np.ndarray
+    target_indices: np.ndarray
+
+    @property
+    def d_adv(self) -> int:
+        """Number of features held by the adversary coalition."""
+        return int(self.adversary_indices.size)
+
+    @property
+    def d_target(self) -> int:
+        """Number of features held by the attack target."""
+        return int(self.target_indices.size)
+
+    def split(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a joint matrix into ``(X_adv, X_target)`` column blocks."""
+        X = np.asarray(X)
+        return X[:, self.adversary_indices], X[:, self.target_indices]
+
+    def assemble(self, X_adv: np.ndarray, X_target: np.ndarray) -> np.ndarray:
+        """Recombine the two blocks into original column order."""
+        X_adv = np.atleast_2d(np.asarray(X_adv, dtype=np.float64))
+        X_target = np.atleast_2d(np.asarray(X_target, dtype=np.float64))
+        if X_adv.shape[0] != X_target.shape[0]:
+            raise PartitionError(
+                f"row mismatch: {X_adv.shape[0]} vs {X_target.shape[0]}"
+            )
+        out = np.empty((X_adv.shape[0], self.n_features))
+        out[:, self.adversary_indices] = X_adv
+        out[:, self.target_indices] = X_target
+        return out
+
+    def permutation_to_original(self) -> np.ndarray:
+        """Permutation ``p`` with ``concat([X_adv, X_target])[:, p]`` in original order."""
+        return np.argsort(np.concatenate([self.adversary_indices, self.target_indices]))
+
+
+class FeaturePartition:
+    """Disjoint assignment of feature columns to ``m`` parties.
+
+    Party 0 is by convention the *active* party (it owns the labels);
+    parties ``1..m-1`` are passive.
+    """
+
+    def __init__(self, n_features: int, blocks: list[np.ndarray]) -> None:
+        self.n_features = check_positive_int(n_features, name="n_features")
+        if len(blocks) < 2:
+            raise PartitionError("a vertical partition needs at least 2 parties")
+        cleaned: list[np.ndarray] = []
+        seen: set[int] = set()
+        for i, block in enumerate(blocks):
+            block = np.asarray(block, dtype=np.int64).ravel()
+            if block.size == 0:
+                raise PartitionError(f"party {i} has an empty feature block")
+            if block.min() < 0 or block.max() >= n_features:
+                raise PartitionError(
+                    f"party {i} references features outside [0, {n_features})"
+                )
+            as_set = set(block.tolist())
+            if len(as_set) != block.size:
+                raise PartitionError(f"party {i} repeats feature indices")
+            if as_set & seen:
+                raise PartitionError(f"party {i} overlaps another party's features")
+            seen |= as_set
+            cleaned.append(np.sort(block))
+        if len(seen) != n_features:
+            missing = sorted(set(range(n_features)) - seen)
+            raise PartitionError(f"features not assigned to any party: {missing}")
+        self.blocks = cleaned
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def contiguous(cls, n_features: int, sizes: list[int]) -> "FeaturePartition":
+        """Assign consecutive column ranges of the given ``sizes``."""
+        if sum(sizes) != n_features:
+            raise PartitionError(
+                f"sizes sum to {sum(sizes)}, expected n_features={n_features}"
+            )
+        blocks, start = [], 0
+        for size in sizes:
+            check_positive_int(size, name="block size")
+            blocks.append(np.arange(start, start + size))
+            start += size
+        return cls(n_features, blocks)
+
+    @classmethod
+    def random_split(
+        cls,
+        n_features: int,
+        sizes: list[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> "FeaturePartition":
+        """Assign randomly permuted columns in blocks of the given ``sizes``."""
+        if sum(sizes) != n_features:
+            raise PartitionError(
+                f"sizes sum to {sum(sizes)}, expected n_features={n_features}"
+            )
+        perm = check_random_state(rng).permutation(n_features)
+        blocks, start = [], 0
+        for size in sizes:
+            check_positive_int(size, name="block size")
+            blocks.append(perm[start : start + size])
+            start += size
+        return cls(n_features, blocks)
+
+    @classmethod
+    def adversary_target(
+        cls,
+        n_features: int,
+        target_fraction: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FeaturePartition":
+        """Two-party split with a random ``target_fraction`` of columns targeted.
+
+        This is the experimental setup of §VI: the target's features are a
+        randomly selected fraction of all columns (e.g. "40% features of
+        Bank is randomly selected as the x_target").
+        """
+        check_in_range(target_fraction, name="target_fraction", low=0.0, high=1.0, inclusive=False)
+        d_target = int(round(n_features * target_fraction))
+        d_target = min(max(d_target, 1), n_features - 1)
+        return cls.random_split(n_features, [n_features - d_target, d_target], rng=rng)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_parties(self) -> int:
+        """Number of parties ``m``."""
+        return len(self.blocks)
+
+    def indices(self, party: int) -> np.ndarray:
+        """Feature columns owned by ``party``."""
+        return self.blocks[party].copy()
+
+    def block_sizes(self) -> list[int]:
+        """Number of features per party."""
+        return [int(b.size) for b in self.blocks]
+
+    def columns_of(self, party: int, X: np.ndarray) -> np.ndarray:
+        """Project a joint matrix onto ``party``'s columns."""
+        return np.asarray(X)[:, self.blocks[party]]
+
+    def adversary_view(self, colluders: tuple[int, ...] = ()) -> AdversaryView:
+        """Collapse parties into (adversary coalition, target) blocks.
+
+        The coalition is the active party (0) plus any ``colluders``;
+        everyone else is the attack target. At least one passive party must
+        remain outside the coalition.
+        """
+        coalition = {0, *colluders}
+        invalid = [p for p in coalition if not 0 <= p < self.n_parties]
+        if invalid:
+            raise PartitionError(f"invalid colluding party ids: {invalid}")
+        targets = [p for p in range(self.n_parties) if p not in coalition]
+        if not targets:
+            raise PartitionError("coalition covers all parties; no attack target left")
+        adv = np.sort(np.concatenate([self.blocks[p] for p in sorted(coalition)]))
+        tgt = np.sort(np.concatenate([self.blocks[p] for p in targets]))
+        return AdversaryView(self.n_features, adv, tgt)

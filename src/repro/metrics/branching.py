@@ -1,0 +1,112 @@
+"""Correct branching rate (CBR) metrics for tree-model attacks.
+
+The paper defines CBR as "the fraction of inferred feature values that
+belong to the same branches as those computed by the ground-truth"
+(§III-C). Two settings use it:
+
+- **PRA** (Fig. 6): a candidate root-to-leaf path is selected; each
+  *target-feature* decision on that path implies a branch direction, which
+  is scored against the direction the true feature value would take.
+  Adversary-feature decisions are excluded — they are correct by
+  construction and would inflate the metric.
+- **GRNA on RF** (Fig. 8): the reconstructed feature values are walked
+  against each tree; every target-feature decision on the true sample's
+  prediction path is scored for sign agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.models.tree import TreeStructure
+from repro.utils.validation import check_vector
+
+
+def path_branch_decisions(
+    structure: TreeStructure, path: list[int]
+) -> list[tuple[int, float, bool]]:
+    """Decode a root-to-leaf path into ``(feature, threshold, went_left)`` triples."""
+    decisions = []
+    for parent, child in zip(path[:-1], path[1:]):
+        if child not in (2 * parent + 1, 2 * parent + 2):
+            raise ValidationError(f"{child} is not a child of {parent} in the path")
+        feature = int(structure.feature[parent])
+        if feature < 0:
+            raise ValidationError(f"path passes through non-internal node {parent}")
+        decisions.append((feature, float(structure.threshold[parent]), child == 2 * parent + 1))
+    return decisions
+
+
+def path_cbr(
+    structure: TreeStructure,
+    path: list[int],
+    x_true: np.ndarray,
+    target_features: np.ndarray,
+) -> tuple[int, int]:
+    """Count correct target-feature branch decisions along ``path``.
+
+    Returns ``(n_correct, n_total)``; callers aggregate over samples before
+    dividing, so samples whose paths contain no target decisions don't
+    contribute spurious 0/0 terms.
+    """
+    x_true = check_vector(x_true, name="x_true")
+    target_set = set(int(f) for f in np.asarray(target_features).ravel())
+    n_correct = n_total = 0
+    for feature, threshold, went_left in path_branch_decisions(structure, path):
+        if feature not in target_set:
+            continue
+        n_total += 1
+        truth_left = bool(x_true[feature] <= threshold)
+        if truth_left == went_left:
+            n_correct += 1
+    return n_correct, n_total
+
+
+def reconstruction_cbr(
+    structure: TreeStructure,
+    x_true: np.ndarray,
+    x_reconstructed_full: np.ndarray,
+    target_features: np.ndarray,
+) -> tuple[int, int]:
+    """Score a reconstructed sample's branch agreement on the true path.
+
+    Walks the tree with the *true* sample and, at every internal node on
+    that path testing a target feature, checks whether the reconstructed
+    value falls on the same side of the threshold.
+
+    Parameters
+    ----------
+    x_reconstructed_full:
+        Full-width sample with the adversary's own (exact) values in their
+        columns and reconstructed values in the target columns.
+    """
+    x_true = check_vector(x_true, name="x_true")
+    x_rec = check_vector(x_reconstructed_full, name="x_reconstructed_full")
+    if x_true.shape != x_rec.shape:
+        raise ValidationError(
+            f"shape mismatch: {x_true.shape} vs {x_rec.shape}"
+        )
+    target_set = set(int(f) for f in np.asarray(target_features).ravel())
+    path = structure.prediction_path(x_true)
+    n_correct = n_total = 0
+    for feature, threshold, _went_left in path_branch_decisions(structure, path):
+        if feature not in target_set:
+            continue
+        n_total += 1
+        if (x_true[feature] <= threshold) == (x_rec[feature] <= threshold):
+            n_correct += 1
+    return n_correct, n_total
+
+
+def aggregate_cbr(counts: list[tuple[int, int]]) -> float:
+    """Pool ``(n_correct, n_total)`` pairs into a single rate.
+
+    Returns NaN if no decisions were scored at all (e.g. the tree never
+    split on a target feature).
+    """
+    n_correct = sum(c for c, _ in counts)
+    n_total = sum(t for _, t in counts)
+    if n_total == 0:
+        return float("nan")
+    return n_correct / n_total

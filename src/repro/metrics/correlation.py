@@ -1,0 +1,98 @@
+"""Correlation diagnostics between target features, x_adv, and predictions.
+
+Implements Eqns 16 and 17 of the paper: the mean *absolute* Pearson
+correlation between each target feature and (a) the adversary's features,
+(b) the confidence-score components. Fig. 10 plots these against the
+per-feature reconstruction MSE to explain which features GRNA recovers
+well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.utils.numeric import pearson_correlation
+from repro.utils.validation import check_matrix
+
+
+def mean_abs_correlation_with_columns(
+    block: np.ndarray, target_column: np.ndarray
+) -> float:
+    """``(1/k) Σ_j |r(block[:, j], target_column)|`` (Eqns 16/17 kernel)."""
+    block = check_matrix(block, name="block")
+    target_column = np.asarray(target_column, dtype=np.float64).ravel()
+    if block.shape[0] != target_column.shape[0]:
+        raise ShapeError(
+            f"row mismatch: {block.shape[0]} vs {target_column.shape[0]}"
+        )
+    coefficients = [
+        abs(pearson_correlation(block[:, j], target_column))
+        for j in range(block.shape[1])
+    ]
+    return float(np.mean(coefficients))
+
+
+@dataclass
+class CorrelationReport:
+    """Per-target-feature correlation diagnostics (one Fig. 10 panel).
+
+    Attributes
+    ----------
+    corr_with_adv:
+        Eqn 16 per target feature: mean |r| against the adversary's columns.
+    corr_with_pred:
+        Eqn 17 per target feature: mean |r| against the confidence scores.
+    per_feature_mse:
+        Reconstruction MSE of each target feature (the panel's x-axis).
+    """
+
+    corr_with_adv: np.ndarray
+    corr_with_pred: np.ndarray
+    per_feature_mse: np.ndarray
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """``(feature_id, mse, corr_adv, corr_pred)`` rows, paper-style."""
+        return [
+            (i, float(m), float(a), float(p))
+            for i, (m, a, p) in enumerate(
+                zip(self.per_feature_mse, self.corr_with_adv, self.corr_with_pred)
+            )
+        ]
+
+
+def correlation_report(
+    X_adv: np.ndarray,
+    X_target: np.ndarray,
+    V: np.ndarray,
+    per_feature_mse: np.ndarray,
+) -> CorrelationReport:
+    """Build the Fig. 10 diagnostics for one dataset/model pair."""
+    X_adv = check_matrix(X_adv, name="X_adv")
+    X_target = check_matrix(X_target, name="X_target")
+    V = check_matrix(V, name="V")
+    per_feature_mse = np.asarray(per_feature_mse, dtype=np.float64).ravel()
+    if per_feature_mse.shape[0] != X_target.shape[1]:
+        raise ShapeError(
+            f"per_feature_mse has {per_feature_mse.shape[0]} entries for "
+            f"{X_target.shape[1]} target features"
+        )
+    corr_adv = np.array(
+        [
+            mean_abs_correlation_with_columns(X_adv, X_target[:, i])
+            for i in range(X_target.shape[1])
+        ]
+    )
+    corr_pred = np.array(
+        [
+            mean_abs_correlation_with_columns(V, X_target[:, i])
+            for i in range(X_target.shape[1])
+        ]
+    )
+    return CorrelationReport(
+        corr_with_adv=corr_adv,
+        corr_with_pred=corr_pred,
+        per_feature_mse=per_feature_mse,
+    )

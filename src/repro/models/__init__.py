@@ -1,0 +1,29 @@
+"""Classification models used as vertical-FL targets."""
+
+from repro.models.base import BaseClassifier, DifferentiableClassifier
+from repro.models.logistic import LogisticRegression
+from repro.models.mlp import MLPClassifier
+from repro.models.tree import (
+    DecisionTreeClassifier,
+    TreeStructure,
+    entropy_impurity,
+    gini_impurity,
+)
+from repro.models.forest import RandomForestClassifier
+from repro.models.distill import RandomForestDistiller
+from repro.models.serialization import load_model, save_model
+
+__all__ = [
+    "BaseClassifier",
+    "DifferentiableClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "DecisionTreeClassifier",
+    "TreeStructure",
+    "gini_impurity",
+    "entropy_impurity",
+    "RandomForestClassifier",
+    "RandomForestDistiller",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,323 @@
+"""CART decision-tree classifier with a full-binary-tree export.
+
+The Path Restriction Attack (paper §IV-B, Algorithm 1) operates on the
+tree laid out as a *full binary tree* indexed so node ``i`` has children
+``2i+1`` (taken when ``x[feature] <= threshold``) and ``2i+2``. The
+:class:`TreeStructure` produced by :meth:`DecisionTreeClassifier.tree_structure`
+is exactly that layout, including padding entries for positions below real
+leaves.
+
+Prediction semantics follow the paper: the tree's confidence score is 1 for
+the predicted leaf label and 0 elsewhere (§II-A, "the branching operations
+are deterministic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models.base import BaseClassifier
+from repro.utils.numeric import one_hot
+from repro.utils.random import check_random_state
+from repro.utils.validation import check_positive_int, check_vector
+
+
+def gini_impurity(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity of class-count rows; ``counts`` shape ``(..., c)``."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(total > 0, counts / total, 0.0)
+    return 1.0 - (p * p).sum(axis=-1)
+
+
+def entropy_impurity(counts: np.ndarray) -> np.ndarray:
+    """Shannon entropy of class-count rows."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(total > 0, counts / total, 0.0)
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+    return -(p * logp).sum(axis=-1)
+
+
+_CRITERIA = {"gini": gini_impurity, "entropy": entropy_impurity}
+
+
+@dataclass
+class _Node:
+    """Internal recursive tree node."""
+
+    label: int
+    n_samples: int
+    depth: int
+    feature: int = -1
+    threshold: float = float("nan")
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class TreeStructure:
+    """Full-binary-tree view of a fitted decision tree.
+
+    Attributes
+    ----------
+    depth:
+        Maximum depth of any real node (root = depth 0).
+    n_nodes:
+        ``2**(depth+1) - 1`` slots in the full binary tree.
+    exists:
+        Whether slot ``i`` holds a real tree node.
+    is_leaf:
+        Whether the real node at slot ``i`` is a leaf.
+    feature, threshold:
+        Split definition for internal nodes (``-1`` / NaN elsewhere).
+    leaf_label:
+        Predicted class at leaves (``-1`` elsewhere).
+    """
+
+    depth: int
+    n_nodes: int
+    exists: np.ndarray
+    is_leaf: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    leaf_label: np.ndarray
+
+    def leaf_indices(self) -> np.ndarray:
+        """Slot indices of every real leaf."""
+        return np.flatnonzero(self.exists & self.is_leaf)
+
+    def path_to(self, index: int) -> list[int]:
+        """Root-to-node slot indices for node ``index``."""
+        if not (0 <= index < self.n_nodes) or not self.exists[index]:
+            raise ValidationError(f"node {index} does not exist in this tree")
+        path = [index]
+        while index != 0:
+            index = (index - 1) // 2
+            path.append(index)
+        path.reverse()
+        return path
+
+    def prediction_path(self, x: np.ndarray) -> list[int]:
+        """Slot indices visited when predicting sample ``x``."""
+        x = check_vector(x, name="x")
+        path = [0]
+        node = 0
+        while not self.is_leaf[node]:
+            if x[self.feature[node]] <= self.threshold[node]:
+                node = 2 * node + 1
+            else:
+                node = 2 * node + 2
+            path.append(node)
+        return path
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Leaf label reached by sample ``x``."""
+        return int(self.leaf_label[self.prediction_path(x)[-1]])
+
+    def n_prediction_paths(self) -> int:
+        """Total number of root-to-leaf paths (= number of leaves)."""
+        return int(self.leaf_indices().size)
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Binary CART tree with axis-aligned threshold splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; paper default 5 for the DT experiments.
+    criterion:
+        ``"gini"`` (default) or ``"entropy"``.
+    min_samples_split / min_samples_leaf:
+        Pre-pruning knobs.
+    max_features:
+        Number of features examined per split: ``None`` for all, ``"sqrt"``,
+        or an int. Randomized selection (used by the forest) draws from
+        ``rng``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 5,
+        criterion: str = "gini",
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.max_depth = check_positive_int(max_depth, name="max_depth")
+        if criterion not in _CRITERIA:
+            raise ValidationError(
+                f"unknown criterion {criterion!r}; choose from {sorted(_CRITERIA)}"
+            )
+        self.criterion = criterion
+        self.min_samples_split = check_positive_int(min_samples_split, name="min_samples_split")
+        self.min_samples_leaf = check_positive_int(min_samples_leaf, name="min_samples_leaf")
+        self.max_features = max_features
+        self.rng = check_random_state(rng)
+        self.root_: _Node | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree greedily to ``max_depth``."""
+        X, y = self._validate_fit_inputs(X, y)
+        self._impurity = _CRITERIA[self.criterion]
+        self._n_split_features = self._resolve_max_features(X.shape[1])
+        Y = one_hot(y, self.n_classes_)
+        self.root_ = self._grow(X, y, Y, depth=0)
+        return self
+
+    def _resolve_max_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        k = check_positive_int(self.max_features, name="max_features")
+        if k > d:
+            raise ValidationError(f"max_features={k} exceeds n_features={d}")
+        return k
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, Y: np.ndarray, depth: int) -> _Node:
+        counts = Y.sum(axis=0)
+        label = int(counts.argmax())
+        node = _Node(label=label, n_samples=X.shape[0], depth=depth)
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        split = self._best_split(X, Y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], Y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], Y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, Y: np.ndarray) -> tuple[int, float] | None:
+        """Exhaustive best (feature, threshold) by weighted impurity decrease."""
+        m, d = X.shape
+        total_counts = Y.sum(axis=0)
+        parent_impurity = float(self._impurity(total_counts))
+        best_gain = 1e-12  # require a strictly positive improvement
+        best: tuple[int, float] | None = None
+        if self._n_split_features < d:
+            features = self.rng.choice(d, size=self._n_split_features, replace=False)
+        else:
+            features = np.arange(d)
+        min_leaf = self.min_samples_leaf
+        for j in features:
+            order = np.argsort(X[:, j], kind="stable")
+            values = X[order, j]
+            prefix = np.cumsum(Y[order], axis=0)  # (m, c) left counts after i+1 samples
+            # Candidate split after position i (0-based): left size i+1.
+            boundaries = np.flatnonzero(values[:-1] < values[1:])
+            if boundaries.size == 0:
+                continue
+            left_sizes = boundaries + 1
+            valid = (left_sizes >= min_leaf) & (m - left_sizes >= min_leaf)
+            boundaries = boundaries[valid]
+            if boundaries.size == 0:
+                continue
+            left_counts = prefix[boundaries]
+            right_counts = total_counts - left_counts
+            left_sizes = (boundaries + 1).astype(np.float64)
+            right_sizes = m - left_sizes
+            weighted = (
+                left_sizes * self._impurity(left_counts)
+                + right_sizes * self._impurity(right_counts)
+            ) / m
+            gains = parent_impurity - weighted
+            k = int(gains.argmax())
+            if gains[k] > best_gain:
+                best_gain = float(gains[k])
+                i = boundaries[k]
+                threshold = float((values[i] + values[i + 1]) / 2.0)
+                best = (int(j), threshold)
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = self._validate_predict_input(X)
+        if self.root_ is None:
+            raise NotFittedError("tree has no root; call fit first")
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, x in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if x[node.feature] <= node.threshold else node.right
+            out[i] = node.label
+        return out
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Deterministic confidences: 1 for the predicted class, 0 elsewhere."""
+        labels = self.predict(X)
+        return one_hot(labels, self.n_classes_)
+
+    # ------------------------------------------------------------------
+    # Structure export (consumed by the Path Restriction Attack)
+    # ------------------------------------------------------------------
+    def tree_structure(self) -> TreeStructure:
+        """Export the fitted tree as full-binary-tree arrays."""
+        self._check_fitted()
+        if self.root_ is None:
+            raise NotFittedError("tree has no root; call fit first")
+        depth = self._max_depth_of(self.root_)
+        n_nodes = 2 ** (depth + 1) - 1
+        structure = TreeStructure(
+            depth=depth,
+            n_nodes=n_nodes,
+            exists=np.zeros(n_nodes, dtype=bool),
+            is_leaf=np.zeros(n_nodes, dtype=bool),
+            feature=np.full(n_nodes, -1, dtype=np.int64),
+            threshold=np.full(n_nodes, np.nan),
+            leaf_label=np.full(n_nodes, -1, dtype=np.int64),
+        )
+        stack = [(self.root_, 0)]
+        while stack:
+            node, index = stack.pop()
+            structure.exists[index] = True
+            if node.is_leaf:
+                structure.is_leaf[index] = True
+                structure.leaf_label[index] = node.label
+            else:
+                structure.feature[index] = node.feature
+                structure.threshold[index] = node.threshold
+                stack.append((node.left, 2 * index + 1))
+                stack.append((node.right, 2 * index + 2))
+        return structure
+
+    def _max_depth_of(self, node: _Node) -> int:
+        stack = [(node, 0)]
+        depth = 0
+        while stack:
+            current, d = stack.pop()
+            depth = max(depth, d)
+            if not current.is_leaf:
+                stack.append((current.left, d + 1))
+                stack.append((current.right, d + 1))
+        return depth
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return int(self.tree_structure().leaf_indices().size)

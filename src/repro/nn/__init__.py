@@ -1,0 +1,43 @@
+"""Neural-network framework substrate (stands in for ``torch.nn``)."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    mlp,
+)
+from repro.nn.optim import SGD, Adam, Optimizer, make_optimizer
+from repro.nn.init import kaiming_uniform, normal_init, xavier_uniform
+from repro.nn.data import batch_indices, iterate_batches, train_test_split
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "LeakyReLU",
+    "Softmax",
+    "Sequential",
+    "LayerNorm",
+    "Dropout",
+    "mlp",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "make_optimizer",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "normal_init",
+    "batch_indices",
+    "iterate_batches",
+    "train_test_split",
+]

@@ -1,0 +1,78 @@
+"""Mini-batch iteration utilities (a tiny stand-in for torch DataLoader)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.utils.random import check_random_state
+
+
+def batch_indices(
+    n_samples: int,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    drop_last: bool = False,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays that partition ``range(n_samples)`` into batches."""
+    if n_samples <= 0:
+        raise ValidationError(f"n_samples must be positive, got {n_samples}")
+    if batch_size <= 0:
+        raise ValidationError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(n_samples)
+    if shuffle:
+        check_random_state(rng).shuffle(order)
+    for start in range(0, n_samples, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            return
+        yield batch
+
+
+def iterate_batches(
+    arrays: tuple[np.ndarray, ...] | list[np.ndarray],
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    drop_last: bool = False,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield aligned mini-batches from several equally-long arrays."""
+    arrays = [np.asarray(a) for a in arrays]
+    if not arrays:
+        raise ValidationError("iterate_batches needs at least one array")
+    n = arrays[0].shape[0]
+    for a in arrays[1:]:
+        if a.shape[0] != n:
+            raise ShapeError(
+                f"arrays have inconsistent lengths: {n} vs {a.shape[0]}"
+            )
+    for idx in batch_indices(n, batch_size, shuffle=shuffle, drop_last=drop_last, rng=rng):
+        yield tuple(a[idx] for a in arrays)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_fraction: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split ``(X, y)`` into train and test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ShapeError(f"X and y lengths differ: {X.shape[0]} vs {y.shape[0]}")
+    n = X.shape[0]
+    order = check_random_state(rng).permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size == 0:
+        raise ValidationError("split left no training samples")
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

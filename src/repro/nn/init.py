@@ -1,0 +1,70 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: ``U(-a, a)`` with ``a = sqrt(6/(in+out))``.
+
+    Suited to sigmoid/tanh layers (used by the GRNA generator).
+    """
+    _check_fans(fan_in, fan_out)
+    rng = check_random_state(rng)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """He/Kaiming uniform init: ``U(-a, a)`` with ``a = sqrt(6/in)``.
+
+    Suited to ReLU layers (used by the VFL NN model and the RF surrogate).
+    """
+    _check_fans(fan_in, fan_out)
+    rng = check_random_state(rng)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def normal_init(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator | int | None = None,
+    std: float = 0.01,
+) -> np.ndarray:
+    """Small-variance Gaussian init ``N(0, std^2)`` (Algorithm 2, line 1)."""
+    _check_fans(fan_in, fan_out)
+    if std <= 0:
+        raise ValidationError(f"std must be positive, got {std}")
+    rng = check_random_state(rng)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "xavier": xavier_uniform,
+    "kaiming": kaiming_uniform,
+    "normal": normal_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}"
+        ) from None
+
+
+def _check_fans(fan_in: int, fan_out: int) -> None:
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError(f"fans must be positive, got ({fan_in}, {fan_out})")

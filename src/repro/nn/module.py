@@ -1,0 +1,122 @@
+"""Module/Parameter abstractions for the neural-network framework.
+
+Mirrors the ``torch.nn.Module`` contract at the scale this reproduction
+needs: parameter registration via attribute assignment, recursive parameter
+collection, train/eval mode switching, and state-dict (de)serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses implement :meth:`forward`; parameters and sub-modules
+    assigned as attributes are discovered automatically.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the module's output; must be overridden."""
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs recursively."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield f"{prefix}{name}", value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{prefix}{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{prefix}{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{prefix}{name}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first."""
+        return [p for _, p in self.named_parameters()]
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module recursively."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Switch all sub-modules into training (or eval) mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Switch all sub-modules into evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by its dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values by name; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise ValidationError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != params[name].data.shape:
+                raise ValidationError(
+                    f"shape mismatch for {name}: {value.shape} vs {params[name].data.shape}"
+                )
+            params[name].data = value.copy()

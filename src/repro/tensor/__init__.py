@@ -1,0 +1,16 @@
+"""Reverse-mode autodiff substrate (stands in for PyTorch autograd)."""
+
+from repro.tensor.tensor import Tensor, concat, stack_rows, unbroadcast
+from repro.tensor import functional
+from repro.tensor.gradcheck import gradcheck, numerical_gradient, analytic_gradients
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack_rows",
+    "unbroadcast",
+    "functional",
+    "gradcheck",
+    "numerical_gradient",
+    "analytic_gradients",
+]

@@ -1,0 +1,135 @@
+"""Differentiable functional operations built on :class:`~repro.tensor.Tensor`.
+
+These mirror ``torch.nn.functional`` for the subset of operations the paper
+reproduction needs: activations, (log-)softmax, and the loss kernels used by
+model training and the GRNA generator objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor.tensor import Tensor, concat
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU: ``x`` where positive, ``negative_slope * x`` elsewhere."""
+    return x.relu() - (-x).relu() * negative_slope
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    The max-shift is treated as a constant, which leaves both the value and
+    the gradient of softmax unchanged.
+    """
+    shifted = x - Tensor(x.max_detached(axis=axis, keepdims=True))
+    ez = shifted.exp()
+    return ez / ez.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.max_detached(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements.
+
+    This is the loss GRNA back-propagates between the simulated prediction
+    ``v̂`` and the observed confidence scores ``v`` (Algorithm 2, line 10).
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy(prediction: Tensor, target: Tensor | np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Mean binary cross-entropy between probabilities and 0/1 targets."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    p = prediction.clip(eps, 1.0 - eps)
+    loss = -(target * p.log() + (1.0 - target) * (1.0 - p).log())
+    return loss.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of raw ``logits`` against integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ValidationError("labels out of range for the given logits")
+    logp = log_softmax(logits, axis=1)
+    picked = logp[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: Tensor | np.ndarray) -> Tensor:
+    """Cross-entropy against a *soft* target distribution.
+
+    Used when distilling the random forest into a neural surrogate: the
+    targets are the RF's vote-fraction confidence vectors rather than hard
+    labels.
+    """
+    target = target_probs if isinstance(target_probs, Tensor) else Tensor(target_probs)
+    if logits.shape != target.shape:
+        raise ShapeError(
+            f"logits shape {logits.shape} != target shape {target.shape}"
+        )
+    logp = log_softmax(logits, axis=1)
+    return -(target * logp).sum(axis=1).mean()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero each element w.p. ``p`` and rescale by 1/(1-p)."""
+    if not 0.0 <= p < 1.0:
+        raise ValidationError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "leaky_relu",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "binary_cross_entropy",
+    "cross_entropy",
+    "soft_cross_entropy",
+    "dropout",
+    "concat",
+]

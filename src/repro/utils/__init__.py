@@ -1,0 +1,40 @@
+"""Shared utilities: RNG handling, validation helpers, numeric kernels."""
+
+from repro.utils.random import check_random_state, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_matrix,
+    check_vector,
+    check_X_y,
+    check_in_range,
+    check_positive_int,
+    check_probability_vector,
+)
+from repro.utils.numeric import (
+    log_sigmoid,
+    logsumexp,
+    one_hot,
+    pearson_correlation,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_rngs",
+    "check_array",
+    "check_matrix",
+    "check_vector",
+    "check_X_y",
+    "check_in_range",
+    "check_positive_int",
+    "check_probability_vector",
+    "sigmoid",
+    "log_sigmoid",
+    "softmax",
+    "logsumexp",
+    "stable_log",
+    "one_hot",
+    "pearson_correlation",
+]

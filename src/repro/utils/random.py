@@ -1,0 +1,52 @@
+"""Random-state handling.
+
+The whole library threads :class:`numpy.random.Generator` objects through
+every stochastic component so that each experiment is reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a fresh nondeterministic generator, an ``int`` to seed a
+        new generator, or an existing :class:`~numpy.random.Generator` which
+        is returned unchanged.
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValidationError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Useful when several components (e.g. the trees of a random forest) each
+    need their own stream but the caller supplies a single seed.
+    """
+    if n < 0:
+        raise ValidationError(f"n must be non-negative, got {n}")
+    rng = check_random_state(seed)
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

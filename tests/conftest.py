@@ -1,0 +1,96 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets import load_dataset
+from repro.federated import FeaturePartition
+from repro.models import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+
+# Keep property tests fast and non-flaky on shared CI hardware.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def make_blobs(n=400, d=6, c=3, seed=0, class_sep=3.0):
+    """Small, well-separated classification data in [0, 1]^d."""
+    rng = np.random.default_rng(seed)
+    centers = rng.random((c, d))
+    y = rng.integers(0, c, size=n)
+    X = centers[y] + rng.normal(0, 1.0 / class_sep, size=(n, d))
+    X = (X - X.min(0)) / (X.max(0) - X.min(0))
+    return X, y.astype(np.int64)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """(X, y) with 3 separable classes, values in [0, 1]."""
+    return make_blobs()
+
+
+@pytest.fixture(scope="session")
+def blobs_binary():
+    """(X, y) with 2 separable classes."""
+    return make_blobs(c=2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def bank_small():
+    """A small materialization of the bank stand-in dataset."""
+    return load_dataset("bank", n_samples=800)
+
+
+@pytest.fixture(scope="session")
+def drive_small():
+    """A small materialization of the 11-class drive stand-in dataset."""
+    return load_dataset("drive", n_samples=1000)
+
+
+@pytest.fixture(scope="session")
+def fitted_lr(blobs):
+    X, y = blobs
+    return LogisticRegression(epochs=40, rng=0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def fitted_lr_binary(blobs_binary):
+    X, y = blobs_binary
+    return LogisticRegression(epochs=40, rng=0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def fitted_mlp(blobs):
+    X, y = blobs
+    return MLPClassifier(hidden_sizes=(24, 12), epochs=20, lr=3e-3, rng=0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def fitted_tree(blobs):
+    X, y = blobs
+    return DecisionTreeClassifier(max_depth=4, rng=0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def fitted_forest(blobs):
+    X, y = blobs
+    return RandomForestClassifier(n_trees=12, max_depth=3, rng=0).fit(X, y)
+
+
+@pytest.fixture()
+def two_party_view():
+    """A 6-feature split: adversary holds 4 columns, target holds 2."""
+    partition = FeaturePartition.adversary_target(6, 2 / 6, rng=0)
+    return partition.adversary_view()

@@ -1,0 +1,52 @@
+"""Tests for random-guess baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomGuessAttack
+from repro.exceptions import ValidationError
+from repro.federated import FeaturePartition
+
+
+@pytest.fixture()
+def view():
+    return FeaturePartition.contiguous(8, [5, 3]).adversary_view()
+
+
+class TestRandomGuess:
+    def test_uniform_in_unit_interval(self, view):
+        result = RandomGuessAttack(view, rng=0).run(np.ones((100, 5)))
+        assert result.x_target_hat.shape == (100, 3)
+        assert result.x_target_hat.min() >= 0.0
+        assert result.x_target_hat.max() <= 1.0
+
+    def test_gaussian_parameters(self, view):
+        """N(0.5, 0.25²): ≈95% of draws within (0, 1) as the paper states."""
+        result = RandomGuessAttack(view, distribution="gaussian", rng=0).run(
+            np.ones((2000, 5))
+        )
+        draws = result.x_target_hat
+        assert draws.mean() == pytest.approx(0.5, abs=0.02)
+        assert draws.std() == pytest.approx(0.25, abs=0.02)
+        inside = ((draws > 0) & (draws < 1)).mean()
+        assert inside > 0.94
+
+    def test_deterministic_with_seed(self, view):
+        a = RandomGuessAttack(view, rng=3).run(np.ones((5, 5)))
+        b = RandomGuessAttack(view, rng=3).run(np.ones((5, 5)))
+        np.testing.assert_array_equal(a.x_target_hat, b.x_target_hat)
+
+    def test_v_is_ignored(self, view):
+        attack = RandomGuessAttack(view, rng=1)
+        a = attack.run(np.ones((3, 5)), v=None)
+        assert a.x_target_hat.shape == (3, 3)
+
+    def test_unknown_distribution_rejected(self, view):
+        with pytest.raises(ValidationError):
+            RandomGuessAttack(view, distribution="cauchy")
+
+    def test_info_records_distribution(self, view):
+        result = RandomGuessAttack(view, distribution="gaussian", rng=0).run(
+            np.ones((2, 5))
+        )
+        assert result.info["distribution"] == "gaussian"

@@ -1,0 +1,215 @@
+"""Tests for the Equality Solving Attack, incl. the exactness theorem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import EqualitySolvingAttack
+from repro.exceptions import AttackError
+from repro.federated import FeaturePartition
+from repro.metrics import esa_mse_upper_bound, mse_per_feature
+from repro.models import LogisticRegression
+from repro.utils.numeric import softmax, sigmoid
+
+
+def synthetic_lr(d, c, seed):
+    """An LR model with random parameters (no training needed for ESA tests)."""
+    rng = np.random.default_rng(seed)
+    model = LogisticRegression()
+    if c == 2:
+        model.set_parameters(rng.normal(size=d), float(rng.normal()))
+    else:
+        model.set_parameters(rng.normal(size=(d, c)), rng.normal(size=c))
+    return model
+
+
+class TestExactness:
+    """The paper's central ESA claim: exact recovery when d_target ≤ c − 1."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_exact_recovery_property(self, seed):
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(3, 8))
+        d_target = int(rng.integers(1, c))  # d_target <= c - 1
+        d = d_target + int(rng.integers(1, 6))
+        model = synthetic_lr(d, c, seed)
+        partition = FeaturePartition.adversary_target(d, d_target / d, rng=rng)
+        view = partition.adversary_view()
+        if view.d_target > c - 1:
+            return  # rounding of the fraction can overshoot; skip
+        X = rng.random((5, d))
+        v = model.predict_proba(X)
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], v)
+        assert attack.is_exact
+        np.testing.assert_allclose(
+            result.x_target_hat, X[:, view.target_indices], atol=1e-6
+        )
+
+    def test_binary_single_unknown_exact(self):
+        """Eqn 3: binary LR with d_target = 1 solves the feature exactly."""
+        model = synthetic_lr(4, 2, seed=1)
+        partition = FeaturePartition.contiguous(4, [3, 1])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(2)
+        X = rng.random((10, 4))
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, :3], model.predict_proba(X))
+        assert attack.is_exact
+        np.testing.assert_allclose(result.x_target_hat[:, 0], X[:, 3], atol=1e-8)
+
+    def test_binary_two_unknowns_not_exact(self):
+        model = synthetic_lr(4, 2, seed=1)
+        partition = FeaturePartition.contiguous(4, [2, 2])
+        attack = EqualitySolvingAttack(model, partition.adversary_view())
+        assert not attack.is_exact
+
+    def test_multiclass_threshold_boundary(self):
+        """c classes give exactly c − 1 equations: d_target = c − 1 is exact,
+        d_target = c is not (generic parameters)."""
+        for d_target, expect in ((2, True), (3, False)):
+            model = synthetic_lr(6, 3, seed=5)
+            partition = FeaturePartition.contiguous(6, [6 - d_target, d_target])
+            attack = EqualitySolvingAttack(model, partition.adversary_view())
+            assert attack.is_exact is expect
+
+
+class TestUnderdetermined:
+    def test_minimum_norm_solution(self):
+        """When underdetermined, the estimate is the pseudo-inverse (minimum
+        norm) solution: ||x̂|| ≤ ||x|| for any true solution x."""
+        model = synthetic_lr(8, 3, seed=3)
+        partition = FeaturePartition.contiguous(8, [3, 5])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(4)
+        X = rng.random((20, 8))
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], model.predict_proba(X))
+        hat_norms = np.linalg.norm(result.x_target_hat, axis=1)
+        true_norms = np.linalg.norm(X[:, view.target_indices], axis=1)
+        assert (hat_norms <= true_norms + 1e-8).all()
+
+    def test_residual_is_zero_for_consistent_system(self):
+        model = synthetic_lr(8, 3, seed=3)
+        partition = FeaturePartition.contiguous(8, [3, 5])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(4)
+        X = rng.random((5, 8))
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], model.predict_proba(X))
+        assert result.info["mean_residual_norm"] < 1e-8
+
+    def test_mse_respects_paper_bound(self):
+        """Eqns 11-15: underdetermined ESA MSE ≤ (1/d)Σ 2x²."""
+        model = synthetic_lr(10, 3, seed=6)
+        partition = FeaturePartition.contiguous(10, [4, 6])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(7)
+        X = rng.random((50, 10))
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], model.predict_proba(X))
+        x_true = X[:, view.target_indices]
+        assert mse_per_feature(result.x_target_hat, x_true) <= esa_mse_upper_bound(x_true)
+
+    def test_clip_to_unit_option(self):
+        model = synthetic_lr(6, 2, seed=8)
+        partition = FeaturePartition.contiguous(6, [2, 4])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(9)
+        X = rng.random((10, 6))
+        attack = EqualitySolvingAttack(model, view, clip_to_unit=True)
+        result = attack.run(X[:, view.adversary_indices], model.predict_proba(X))
+        assert result.x_target_hat.min() >= 0.0
+        assert result.x_target_hat.max() <= 1.0
+
+
+class TestPaperExample1:
+    def test_example_from_section_iv(self):
+        """Example 1 of the paper: 3-class LR, x = (25, 2K, 8K, 3)."""
+        theta = np.array(
+            [
+                [0.08, 0.0002, 0.0005, 0.09],
+                [0.06, 0.0005, 0.0002, 0.08],
+                [0.01, 0.0001, 0.0004, 0.05],
+            ]
+        ).T  # (d=4, c=3)
+        model = LogisticRegression().set_parameters(theta, np.zeros(3))
+        x = np.array([25.0, 2000.0, 8000.0, 3.0])
+        v = softmax(x @ theta)
+        partition = FeaturePartition.contiguous(4, [2, 2])
+        view = partition.adversary_view()
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(x[None, :2], v[None, :])
+        # d_target = 2 = c - 1: exact up to numerical precision.
+        np.testing.assert_allclose(result.x_target_hat[0], [8000.0, 3.0], rtol=1e-4)
+
+
+class TestValidation:
+    @pytest.fixture()
+    def attack_setup(self):
+        model = synthetic_lr(6, 3, seed=0)
+        partition = FeaturePartition.contiguous(6, [4, 2])
+        return model, partition.adversary_view()
+
+    def test_row_count_mismatch(self, attack_setup):
+        model, view = attack_setup
+        attack = EqualitySolvingAttack(model, view)
+        with pytest.raises(AttackError):
+            attack.run(np.ones((2, 4)), np.full((3, 3), 1 / 3))
+
+    def test_wrong_adv_width(self, attack_setup):
+        model, view = attack_setup
+        attack = EqualitySolvingAttack(model, view)
+        with pytest.raises(AttackError):
+            attack.run(np.ones((1, 5)), np.full((1, 3), 1 / 3))
+
+    def test_wrong_class_count(self, attack_setup):
+        model, view = attack_setup
+        attack = EqualitySolvingAttack(model, view)
+        with pytest.raises(AttackError):
+            attack.run(np.ones((1, 4)), np.full((1, 4), 0.25))
+
+    def test_view_model_width_mismatch(self):
+        model = synthetic_lr(6, 3, seed=0)
+        partition = FeaturePartition.contiguous(5, [3, 2])
+        with pytest.raises(AttackError):
+            EqualitySolvingAttack(model, partition.adversary_view())
+
+    def test_unfitted_model_rejected(self):
+        partition = FeaturePartition.contiguous(4, [2, 2])
+        with pytest.raises(Exception):
+            EqualitySolvingAttack(LogisticRegression(), partition.adversary_view())
+
+
+class TestEndToEndTrainedModel:
+    def test_on_trained_binary_model(self, blobs_binary):
+        """ESA against an actually-trained model (not synthetic weights)."""
+        X, y = blobs_binary
+        model = LogisticRegression(epochs=40, rng=0).fit(X, y)
+        partition = FeaturePartition.contiguous(6, [5, 1])
+        view = partition.adversary_view()
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], model.predict_proba(X))
+        assert attack.is_exact
+        np.testing.assert_allclose(
+            result.x_target_hat, X[:, view.target_indices], atol=1e-6
+        )
+
+    def test_sigmoid_logit_consistency(self, fitted_lr_binary, blobs_binary):
+        """Eqn 3 route and the uniform log-ratio route must agree."""
+        X, _ = blobs_binary
+        model = fitted_lr_binary
+        x = X[:1]
+        v1 = model.predict_proba(x)[0, 1]
+        # Direct Eqn 3: x_target . theta_target = logit(v1) - x_adv . theta_adv - b
+        partition = FeaturePartition.contiguous(6, [5, 1])
+        view = partition.adversary_view()
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(x[:, :5], model.predict_proba(x))
+        logit_v = np.log(v1) - np.log(1 - v1)
+        manual = (
+            logit_v - x[0, :5] @ model.coef_[:5] - float(model.intercept_)
+        ) / model.coef_[5]
+        assert result.x_target_hat[0, 0] == pytest.approx(manual, abs=1e-8)

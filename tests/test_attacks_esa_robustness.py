@@ -1,0 +1,127 @@
+"""Tests for ESA's reliability-weighted solve under output perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import EqualitySolvingAttack
+from repro.defenses import round_confidence_scores
+from repro.federated import FeaturePartition
+from repro.models import LogisticRegression
+
+
+def synthetic_lr(d, c, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    model = LogisticRegression()
+    model.set_parameters(rng.normal(size=(d, c)) * scale, rng.normal(size=c))
+    return model
+
+
+@pytest.fixture()
+def setup():
+    model = synthetic_lr(10, 5, seed=0)
+    partition = FeaturePartition.contiguous(10, [6, 4])
+    view = partition.adversary_view()
+    rng = np.random.default_rng(1)
+    X = rng.random((40, 10))
+    return model, view, X
+
+
+class TestWeightedSolve:
+    def test_weights_do_not_change_consistent_solutions(self, setup):
+        """For unperturbed v the weighted solve must equal the plain
+        pseudo-inverse solution (positive weights on a consistent system)."""
+        model, view, X = setup
+        attack = EqualitySolvingAttack(model, view)
+        v = model.predict_proba(X)
+        result = attack.run(X[:, view.adversary_indices], v)
+        # Plain solve for comparison.
+        from repro.utils.numeric import stable_log, EPS
+
+        logv = stable_log(np.clip(v, EPS, None))
+        a = (
+            (logv[:, :-1] - logv[:, 1:])
+            - X[:, view.adversary_indices] @ attack._theta_adv_diff
+            - attack._intercept_diff
+        )
+        plain = a @ attack._pinv.T
+        np.testing.assert_allclose(result.x_target_hat, plain, atol=1e-6)
+
+    def test_zeroed_scores_drop_equations_not_crash(self, setup):
+        model, view, X = setup
+        attack = EqualitySolvingAttack(model, view)
+        v = model.predict_proba(X)
+        v[:, 2] = 0.0  # defense truncated class 2 everywhere
+        result = attack.run(X[:, view.adversary_indices], v)
+        assert np.isfinite(result.x_target_hat).all()
+
+    def test_all_scores_zero_gives_zero_estimate(self, setup):
+        model, view, X = setup
+        attack = EqualitySolvingAttack(model, view)
+        v = np.zeros((3, 5))
+        result = attack.run(X[:3, view.adversary_indices], v)
+        np.testing.assert_array_equal(result.x_target_hat, 0.0)
+
+    def test_weighting_beats_unweighted_under_rounding(self):
+        """The robustness the weighting buys: with truncated scores the
+        weighted solve must be far more accurate than naively using every
+        log-ratio equation."""
+        model = synthetic_lr(12, 8, seed=2, scale=2.0)
+        partition = FeaturePartition.contiguous(12, [7, 5])
+        view = partition.adversary_view()
+        rng = np.random.default_rng(3)
+        X = rng.random((60, 12))
+        v = round_confidence_scores(model.predict_proba(X), 3)
+        attack = EqualitySolvingAttack(model, view)
+        result = attack.run(X[:, view.adversary_indices], v)
+
+        from repro.utils.numeric import stable_log, EPS
+
+        logv = stable_log(np.clip(v, EPS, None))
+        a = (
+            (logv[:, :-1] - logv[:, 1:])
+            - X[:, view.adversary_indices] @ attack._theta_adv_diff
+            - attack._intercept_diff
+        )
+        naive = a @ attack._pinv.T
+        truth = X[:, view.target_indices]
+        weighted_mse = np.mean((result.x_target_hat - truth) ** 2)
+        naive_mse = np.mean((naive - truth) ** 2)
+        assert weighted_mse < naive_mse
+
+    def test_mixed_zero_patterns_per_sample(self, setup):
+        """Different samples with different zeroed classes solve independently."""
+        model, view, X = setup
+        attack = EqualitySolvingAttack(model, view)
+        v = model.predict_proba(X[:4])
+        v[0, 0] = 0.0
+        v[1, 4] = 0.0
+        v[2, :] = 0.0
+        result = attack.run(X[:4, view.adversary_indices], v)
+        assert np.isfinite(result.x_target_hat).all()
+        np.testing.assert_array_equal(result.x_target_hat[2], 0.0)
+        assert not np.array_equal(result.x_target_hat[0], result.x_target_hat[1])
+
+
+class TestDefendedPipeline:
+    def test_esa_through_rounded_vfl_protocol(self, blobs):
+        """End-to-end: the defense is installed server-side in the VFL
+        wrapper and the adversary attacks the truncated outputs."""
+        from repro.defenses import RoundedModel
+        from repro.federated import train_vertical_model
+
+        X, y = blobs
+        partition = FeaturePartition.contiguous(6, [5, 1])
+        model = LogisticRegression(epochs=40, rng=0)
+        vfl = train_vertical_model(model, X[:200], y[:200], X[200:], y[200:], partition)
+        view = partition.adversary_view()
+
+        # Undefended: exact (d_target = 1 <= c-1 = 2).
+        attack = EqualitySolvingAttack(model, view)
+        clean = attack.run(vfl.adversary_features(), vfl.predict_all())
+        truth = vfl.ground_truth_target()
+        assert np.mean((clean.x_target_hat - truth) ** 2) < 1e-8
+
+        # Defended with b=1 rounding: exactness destroyed.
+        vfl.model = RoundedModel(model, 1)
+        defended = attack.run(vfl.adversary_features(), vfl.predict_all())
+        assert np.mean((defended.x_target_hat - truth) ** 2) > 1e-4

@@ -1,0 +1,246 @@
+"""Tests for the Generative Regression Network attack (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    GenerativeRegressionNetwork,
+    RandomGuessAttack,
+    attack_random_forest,
+)
+from repro.datasets import load_dataset
+from repro.exceptions import AttackError, ValidationError
+from repro.federated import FeaturePartition
+from repro.metrics import mse_per_feature
+from repro.models import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    RandomForestDistiller,
+)
+
+FAST = dict(hidden_sizes=(48, 24), epochs=12, batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def grna_scenario():
+    """A correlated dataset + trained LR + views, shared across GRNA tests."""
+    ds = load_dataset("bank", n_samples=700)
+    partition = FeaturePartition.adversary_target(ds.n_features, 0.4, rng=7)
+    view = partition.adversary_view()
+    model = LogisticRegression(epochs=30, rng=1).fit(ds.X, ds.y)
+    X_adv, X_target = view.split(ds.X[:400])
+    V = model.predict_proba(ds.X[:400])
+    return dict(model=model, view=view, X_adv=X_adv, X_target=X_target, V=V)
+
+
+class TestReconstructionQuality:
+    def test_beats_random_guess(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=3, **FAST)
+        result = attack.run(s["X_adv"], s["V"])
+        grna_mse = mse_per_feature(result.x_target_hat, s["X_target"])
+        guess = RandomGuessAttack(s["view"], rng=0).run(s["X_adv"])
+        rg_mse = mse_per_feature(guess.x_target_hat, s["X_target"])
+        assert grna_mse < 0.6 * rg_mse
+
+    def test_loss_decreases_during_training(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=3, **FAST)
+        attack.fit(s["X_adv"], s["V"])
+        assert attack.loss_history_[-1] < attack.loss_history_[0]
+
+    def test_output_shape_and_range(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=3, **FAST)
+        result = attack.run(s["X_adv"], s["V"])
+        assert result.x_target_hat.shape == (400, s["view"].d_target)
+        assert result.x_target_hat.min() >= 0.0
+        assert result.x_target_hat.max() <= 1.0
+
+    def test_works_against_mlp_model(self):
+        ds = load_dataset("bank", n_samples=500)
+        partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=2)
+        view = partition.adversary_view()
+        model = MLPClassifier(hidden_sizes=(24, 12), epochs=6, rng=1).fit(ds.X, ds.y)
+        X_adv, X_target = view.split(ds.X[:300])
+        V = model.predict_proba(ds.X[:300])
+        attack = GenerativeRegressionNetwork(model, view, rng=3, **FAST)
+        result = attack.run(X_adv, V)
+        rg = RandomGuessAttack(view, rng=0).run(X_adv)
+        assert mse_per_feature(result.x_target_hat, X_target) < mse_per_feature(
+            rg.x_target_hat, X_target
+        )
+
+
+class TestAblationModes:
+    def test_noise_only_input(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(
+            s["model"], s["view"], use_adv_input=False, rng=3, **FAST
+        )
+        result = attack.run(s["X_adv"], s["V"])
+        assert result.x_target_hat.shape[1] == s["view"].d_target
+
+    def test_no_noise_input(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(
+            s["model"], s["view"], use_noise=False, rng=3, **FAST
+        )
+        result = attack.run(s["X_adv"], s["V"])
+        assert np.isfinite(result.x_target_hat).all()
+
+    def test_no_noise_is_deterministic_at_inference(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(
+            s["model"], s["view"], use_noise=False, rng=3, **FAST
+        )
+        attack.fit(s["X_adv"], s["V"])
+        np.testing.assert_array_equal(
+            attack.reconstruct(s["X_adv"]), attack.reconstruct(s["X_adv"])
+        )
+
+    def test_both_inputs_disabled_rejected(self, grna_scenario):
+        s = grna_scenario
+        with pytest.raises(ValidationError):
+            GenerativeRegressionNetwork(
+                s["model"], s["view"], use_adv_input=False, use_noise=False
+            )
+
+    def test_direct_regression_mode(self, grna_scenario):
+        """Table III case 4: no generator, optimize x̂ directly."""
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(
+            s["model"], s["view"], use_generator=False,
+            output_activation="linear", clip_to_unit=False, rng=3, **FAST
+        )
+        result = attack.run(s["X_adv"], s["V"])
+        assert result.x_target_hat.shape == (400, s["view"].d_target)
+        assert result.info["use_generator"] is False
+
+    def test_variance_penalty_bounds_spread(self, grna_scenario):
+        s = grna_scenario
+        tight = GenerativeRegressionNetwork(
+            s["model"], s["view"], variance_penalty=50.0, variance_threshold=0.0,
+            rng=3, **FAST
+        )
+        loose = GenerativeRegressionNetwork(
+            s["model"], s["view"], variance_penalty=0.0, rng=3, **FAST
+        )
+        tight_hat = tight.run(s["X_adv"], s["V"]).x_target_hat
+        loose_hat = loose.run(s["X_adv"], s["V"]).x_target_hat
+        assert tight_hat.var(axis=0).mean() <= loose_hat.var(axis=0).mean() + 1e-9
+
+    def test_linear_output_activation(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(
+            s["model"], s["view"], output_activation="linear", rng=3, **FAST
+        )
+        result = attack.run(s["X_adv"], s["V"])
+        assert result.x_target_hat.min() >= 0.0  # clip_to_unit default
+
+    def test_invalid_output_activation(self, grna_scenario):
+        s = grna_scenario
+        with pytest.raises(ValidationError):
+            GenerativeRegressionNetwork(
+                s["model"], s["view"], output_activation="softplus"
+            )
+
+
+class TestModelFreezing:
+    def test_vfl_model_parameters_unchanged_by_attack(self):
+        ds = load_dataset("bank", n_samples=400)
+        partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=2)
+        view = partition.adversary_view()
+        model = MLPClassifier(hidden_sizes=(16,), epochs=4, rng=1).fit(ds.X, ds.y)
+        before = model.network_.state_dict()
+        X_adv, _ = view.split(ds.X[:200])
+        attack = GenerativeRegressionNetwork(model, view, rng=3, **FAST)
+        attack.fit(X_adv, model.predict_proba(ds.X[:200]))
+        after = model.network_.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_requires_grad_restored_after_fit(self):
+        ds = load_dataset("bank", n_samples=400)
+        partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=2)
+        view = partition.adversary_view()
+        model = MLPClassifier(hidden_sizes=(16,), epochs=3, rng=1).fit(ds.X, ds.y)
+        X_adv, _ = view.split(ds.X[:150])
+        attack = GenerativeRegressionNetwork(model, view, rng=3, **FAST)
+        attack.fit(X_adv, model.predict_proba(ds.X[:150]))
+        assert all(p.requires_grad for p in model.network_.parameters())
+
+
+class TestValidation:
+    def test_non_differentiable_model_rejected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3, rng=0).fit(X, y)
+        view = FeaturePartition.contiguous(6, [4, 2]).adversary_view()
+        with pytest.raises(AttackError):
+            GenerativeRegressionNetwork(tree, view)
+
+    def test_reconstruct_before_fit_rejected(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=0, **FAST)
+        with pytest.raises(AttackError):
+            attack.reconstruct(s["X_adv"])
+
+    def test_row_mismatch_rejected(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=0, **FAST)
+        with pytest.raises(AttackError):
+            attack.fit(s["X_adv"][:5], s["V"][:6])
+
+    def test_wrong_view_width_rejected(self, grna_scenario):
+        s = grna_scenario
+        view = FeaturePartition.contiguous(5, [3, 2]).adversary_view()
+        with pytest.raises(AttackError):
+            GenerativeRegressionNetwork(s["model"], view)
+
+    def test_wrong_class_count_rejected(self, grna_scenario):
+        s = grna_scenario
+        attack = GenerativeRegressionNetwork(s["model"], s["view"], rng=0, **FAST)
+        with pytest.raises(AttackError):
+            attack.fit(s["X_adv"], np.ones((400, 5)) / 5)
+
+
+class TestRandomForestPath:
+    def test_attack_random_forest_end_to_end(self):
+        ds = load_dataset("bank", n_samples=500)
+        partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=2)
+        view = partition.adversary_view()
+        forest = RandomForestClassifier(n_trees=8, max_depth=3, rng=1).fit(ds.X, ds.y)
+        X_adv, X_target = view.split(ds.X[:250])
+        V = forest.predict_proba(ds.X[:250])
+        distiller = RandomForestDistiller(
+            hidden_sizes=(64, 32), n_dummy=800, epochs=4, rng=5
+        )
+        result, surrogate = attack_random_forest(
+            forest, view, X_adv, V, distiller=distiller, grna_kwargs=dict(FAST), rng=3
+        )
+        assert result.x_target_hat.shape == (250, view.d_target)
+        assert surrogate.fidelity(ds.X[:250]) > 0.5
+        rg = RandomGuessAttack(view, rng=0).run(X_adv)
+        assert mse_per_feature(result.x_target_hat, X_target) < mse_per_feature(
+            rg.x_target_hat, X_target
+        )
+
+    def test_predistilled_surrogate_reused(self):
+        ds = load_dataset("bank", n_samples=300)
+        partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=2)
+        view = partition.adversary_view()
+        forest = RandomForestClassifier(n_trees=5, max_depth=2, rng=1).fit(ds.X, ds.y)
+        distiller = RandomForestDistiller(
+            hidden_sizes=(32,), n_dummy=400, epochs=2, rng=5
+        )
+        distiller.distill(forest, ds.n_features)
+        state_before = distiller.network_.state_dict()
+        X_adv, _ = view.split(ds.X[:100])
+        attack_random_forest(
+            forest, view, X_adv, forest.predict_proba(ds.X[:100]),
+            distiller=distiller, grna_kwargs=dict(FAST), rng=3,
+        )
+        for key, value in distiller.network_.state_dict().items():
+            np.testing.assert_array_equal(value, state_before[key])

@@ -1,0 +1,186 @@
+"""Tests for synthetic generators, the Table II registry, and scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    MinMaxScaler,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    make_classification,
+    make_correlated_tabular,
+    table2_rows,
+)
+from repro.exceptions import DatasetError, NotFittedError, ValidationError
+from repro.utils.numeric import pearson_correlation
+
+
+class TestMakeClassification:
+    def test_shapes(self):
+        X, y = make_classification(100, 8, n_classes=3, rng=0)
+        assert X.shape == (100, 8) and y.shape == (100,)
+
+    def test_all_classes_present(self):
+        _, y = make_classification(500, 6, n_classes=4, rng=0)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        a = make_classification(50, 5, rng=3)[0]
+        b = make_classification(50, 5, rng=3)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_separable_with_high_class_sep(self):
+        from repro.models import LogisticRegression
+        from repro.datasets import MinMaxScaler
+
+        X, y = make_classification(400, 6, n_classes=2, class_sep=3.0, rng=1)
+        X = MinMaxScaler().fit_transform(X)
+        assert LogisticRegression(epochs=40, rng=0).fit(X, y).score(X, y) > 0.85
+
+    def test_informative_plus_redundant_capped(self):
+        with pytest.raises(DatasetError):
+            make_classification(10, 3, n_informative=3, n_redundant=2)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DatasetError):
+            make_classification(10, 3, n_classes=1)
+
+
+class TestMakeCorrelatedTabular:
+    def test_shapes_and_labels(self):
+        X, y = make_correlated_tabular(200, 10, n_classes=3, rng=0)
+        assert X.shape == (200, 10)
+        assert y.min() >= 0 and y.max() < 3
+
+    def test_cross_column_correlation_exists(self):
+        """The factor structure must induce |r| clearly above independence."""
+        X, _ = make_correlated_tabular(2000, 12, factor_strength=0.9, rng=0)
+        corrs = [
+            abs(pearson_correlation(X[:, i], X[:, j]))
+            for i in range(6)
+            for j in range(6, 12)
+        ]
+        assert max(corrs) > 0.3
+
+    def test_label_feature_dependence(self):
+        X, y = make_correlated_tabular(3000, 8, n_classes=2, rng=1)
+        corrs = [abs(pearson_correlation(X[:, i], y.astype(float))) for i in range(8)]
+        assert max(corrs) > 0.1
+
+    def test_marginal_gamma_controls_skew(self):
+        """E[x²] of the U(0,1)^γ marginal must be ≈ 1/(2γ+1)."""
+        for gamma in (1.0, 3.0, 6.0):
+            X, _ = make_correlated_tabular(4000, 5, marginal_gamma=gamma, rng=2)
+            assert np.mean(X**2) == pytest.approx(1.0 / (2 * gamma + 1), rel=0.05)
+
+    def test_marginal_gamma_preserves_rank_correlation(self):
+        X_raw, _ = make_correlated_tabular(1000, 6, rng=3)
+        X_skew, _ = make_correlated_tabular(1000, 6, marginal_gamma=3.0, rng=3)
+        # Same seed → same ranks → same orderings per column.
+        np.testing.assert_array_equal(
+            np.argsort(X_raw, axis=0), np.argsort(X_skew, axis=0)
+        )
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValidationError):
+            make_correlated_tabular(10, 3, marginal_gamma=0.0)
+
+    def test_invalid_factor_strength(self):
+        with pytest.raises(ValidationError):
+            make_correlated_tabular(10, 3, factor_strength=1.0)
+
+
+class TestRegistry:
+    def test_table2_matches_paper(self):
+        rows = {name: (n, c, d) for name, n, c, d in table2_rows()}
+        assert rows["bank"] == (45211, 2, 20)
+        assert rows["credit"] == (30000, 2, 23)
+        assert rows["drive"] == (58509, 11, 48)
+        assert rows["news"] == (39797, 5, 59)
+        assert rows["synthetic1"] == (100000, 10, 25)
+        assert rows["synthetic2"] == (100000, 5, 50)
+
+    def test_list_datasets(self):
+        assert set(list_datasets()) == {
+            "bank", "credit", "drive", "news", "synthetic1", "synthetic2",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            get_spec("adult")
+        with pytest.raises(DatasetError):
+            load_dataset("adult")
+
+    def test_subsampled_load(self):
+        ds = load_dataset("bank", n_samples=300)
+        assert ds.X.shape == (300, 20)
+        assert ds.n_classes == 2
+
+    def test_values_normalized_to_unit_interval(self):
+        ds = load_dataset("credit", n_samples=400)
+        assert ds.X.min() >= 0.0 and ds.X.max() <= 1.0
+
+    def test_all_classes_present_after_subsample(self):
+        ds = load_dataset("drive", n_samples=500)
+        assert np.unique(ds.y).size == 11
+
+    def test_deterministic_by_default(self):
+        a = load_dataset("news", n_samples=200)
+        b = load_dataset("news", n_samples=200)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_custom_rng_changes_data(self):
+        a = load_dataset("news", n_samples=200, rng=1)
+        b = load_dataset("news", n_samples=200, rng=2)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_synthetic_kind_loads(self):
+        ds = load_dataset("synthetic1", n_samples=500)
+        assert ds.n_features == 25 and ds.spec.n_classes == 10
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(DatasetError):
+            load_dataset("bank", n_samples=0)
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        X = np.random.default_rng(0).normal(5, 10, size=(50, 3))
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_inverse_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 4)) * rng.uniform(0.5, 10)
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9
+        )
+
+    def test_constant_column_maps_to_half(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_array_equal(out[:, 0], 0.5)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+    def test_width_mismatch_rejected(self):
+        scaler = MinMaxScaler().fit(np.ones((5, 3)) * np.arange(3))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.ones((2, 4)))
+        with pytest.raises(ValidationError):
+            scaler.inverse_transform(np.ones((2, 4)))
+
+    def test_transform_new_data_uses_fitted_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(scaler.transform(np.array([[5.0]])), [[0.5]])
+        np.testing.assert_allclose(scaler.transform(np.array([[20.0]])), [[2.0]])

@@ -1,0 +1,137 @@
+"""Tests for FeaturePartition and AdversaryView."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PartitionError, ValidationError
+from repro.federated import FeaturePartition
+
+
+class TestConstruction:
+    def test_valid_two_party(self):
+        p = FeaturePartition(4, [np.array([0, 1]), np.array([2, 3])])
+        assert p.n_parties == 2
+        assert p.block_sizes() == [2, 2]
+
+    def test_blocks_are_sorted_copies(self):
+        p = FeaturePartition(3, [np.array([1, 0]), np.array([2])])
+        np.testing.assert_array_equal(p.indices(0), [0, 1])
+
+    def test_single_party_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(2, [np.array([0, 1])])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(3, [np.array([0, 1]), np.array([1, 2])])
+
+    def test_gap_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(4, [np.array([0]), np.array([2, 3])])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(3, [np.array([0, 1]), np.array([5])])
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(2, [np.array([0, 1]), np.array([], dtype=int)])
+
+    def test_duplicate_within_block_rejected(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition(3, [np.array([0, 0]), np.array([1, 2])])
+
+
+class TestConstructors:
+    def test_contiguous(self):
+        p = FeaturePartition.contiguous(6, [2, 4])
+        np.testing.assert_array_equal(p.indices(0), [0, 1])
+        np.testing.assert_array_equal(p.indices(1), [2, 3, 4, 5])
+
+    def test_contiguous_size_mismatch(self):
+        with pytest.raises(PartitionError):
+            FeaturePartition.contiguous(6, [2, 3])
+
+    def test_random_split_covers_everything(self):
+        p = FeaturePartition.random_split(10, [3, 3, 4], rng=0)
+        combined = np.sort(np.concatenate([p.indices(i) for i in range(3)]))
+        np.testing.assert_array_equal(combined, np.arange(10))
+
+    def test_random_split_deterministic(self):
+        a = FeaturePartition.random_split(8, [4, 4], rng=1)
+        b = FeaturePartition.random_split(8, [4, 4], rng=1)
+        np.testing.assert_array_equal(a.indices(0), b.indices(0))
+
+    @given(st.integers(2, 40), st.floats(0.05, 0.95))
+    @settings(max_examples=30)
+    def test_adversary_target_fraction_property(self, d, fraction):
+        p = FeaturePartition.adversary_target(d, fraction, rng=0)
+        view = p.adversary_view()
+        assert 1 <= view.d_target <= d - 1
+        assert view.d_adv + view.d_target == d
+
+    def test_adversary_target_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            FeaturePartition.adversary_target(5, 0.0)
+        with pytest.raises(ValidationError):
+            FeaturePartition.adversary_target(5, 1.0)
+
+
+class TestAdversaryView:
+    def test_default_coalition_is_active_party(self):
+        p = FeaturePartition.contiguous(6, [2, 2, 2])
+        view = p.adversary_view()
+        np.testing.assert_array_equal(view.adversary_indices, [0, 1])
+        np.testing.assert_array_equal(view.target_indices, [2, 3, 4, 5])
+
+    def test_collusion_grows_the_coalition(self):
+        p = FeaturePartition.contiguous(6, [2, 2, 2])
+        view = p.adversary_view(colluders=(1,))
+        np.testing.assert_array_equal(view.adversary_indices, [0, 1, 2, 3])
+        np.testing.assert_array_equal(view.target_indices, [4, 5])
+
+    def test_full_coalition_rejected(self):
+        p = FeaturePartition.contiguous(4, [2, 2])
+        with pytest.raises(PartitionError):
+            p.adversary_view(colluders=(1,))
+
+    def test_invalid_colluder_rejected(self):
+        p = FeaturePartition.contiguous(4, [2, 2])
+        with pytest.raises(PartitionError):
+            p.adversary_view(colluders=(5,))
+
+    def test_split_assemble_roundtrip(self):
+        p = FeaturePartition.random_split(7, [4, 3], rng=3)
+        view = p.adversary_view()
+        X = np.random.default_rng(0).normal(size=(5, 7))
+        X_adv, X_target = view.split(X)
+        np.testing.assert_array_equal(view.assemble(X_adv, X_target), X)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25)
+    def test_permutation_restores_original_order(self, seed):
+        """concat([X_adv, X_target])[:, perm] must equal the original X."""
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 12))
+        frac = float(rng.uniform(0.1, 0.9))
+        p = FeaturePartition.adversary_target(d, frac, rng=rng)
+        view = p.adversary_view()
+        X = rng.normal(size=(3, d))
+        X_adv, X_target = view.split(X)
+        stacked = np.hstack([X_adv, X_target])
+        np.testing.assert_array_equal(
+            stacked[:, view.permutation_to_original()], X
+        )
+
+    def test_assemble_row_mismatch_rejected(self):
+        p = FeaturePartition.contiguous(4, [2, 2])
+        view = p.adversary_view()
+        with pytest.raises(PartitionError):
+            view.assemble(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_columns_of(self):
+        p = FeaturePartition.contiguous(4, [1, 3])
+        X = np.arange(8.0).reshape(2, 4)
+        np.testing.assert_array_equal(p.columns_of(1, X), X[:, 1:])

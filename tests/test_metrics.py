@@ -1,0 +1,208 @@
+"""Tests for reconstruction, branching, and correlation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.metrics import (
+    aggregate_cbr,
+    correlation_report,
+    esa_mse_upper_bound,
+    feature_wise_mse,
+    mean_abs_correlation_with_columns,
+    mse_per_feature,
+    path_branch_decisions,
+    path_cbr,
+    reconstruction_cbr,
+)
+from repro.models import DecisionTreeClassifier
+
+
+class TestMsePerFeature:
+    def test_zero_for_exact(self):
+        X = np.random.default_rng(0).random((5, 3))
+        assert mse_per_feature(X, X) == 0.0
+
+    def test_known_value(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[0.0, 0.0]])
+        assert mse_per_feature(a, b) == pytest.approx(2.5)
+
+    def test_equals_eqn10(self):
+        """Must equal (1/(n*d)) ΣΣ (x̂-x)² exactly (Eqn 10)."""
+        rng = np.random.default_rng(1)
+        a, b = rng.random((7, 4)), rng.random((7, 4))
+        manual = ((a - b) ** 2).sum() / (7 * 4)
+        assert mse_per_feature(a, b) == pytest.approx(manual)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse_per_feature(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_accepts_single_row(self):
+        assert mse_per_feature(np.ones((1, 2)), np.zeros((1, 2))) == 1.0
+
+
+class TestFeatureWiseMse:
+    def test_per_column(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        b = np.zeros((2, 2))
+        np.testing.assert_array_equal(feature_wise_mse(a, b), [1.0, 0.0])
+
+    def test_mean_consistency(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.random((6, 5)), rng.random((6, 5))
+        assert feature_wise_mse(a, b).mean() == pytest.approx(mse_per_feature(a, b))
+
+
+class TestEsaUpperBound:
+    def test_formula(self):
+        x = np.array([[0.5, 1.0]])
+        assert esa_mse_upper_bound(x) == pytest.approx((2 * 0.25 + 2 * 1.0) / 2)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25)
+    def test_bound_holds_for_minimum_norm_solutions(self, seed):
+        """Eqns 11-15: any x̂ with ||x̂|| ≤ ||x|| and x, x̂ ≥ 0 satisfies the bound
+        when x ∈ (0,1); verify with random min-norm-style estimates."""
+        rng = np.random.default_rng(seed)
+        x = rng.random((4, 3))
+        x_hat = x * rng.random((4, 3))  # shrunk → smaller norm
+        assert mse_per_feature(x_hat, x) <= esa_mse_upper_bound(x) + 1e-12
+
+
+@pytest.fixture(scope="module")
+def simple_tree():
+    """Depth-2 tree: root splits feature 0, right child splits feature 1."""
+    X = np.array(
+        [[0.1, 0.1], [0.1, 0.9], [0.9, 0.1], [0.9, 0.9]] * 10, dtype=float
+    )
+    y = np.array([0, 0, 1, 2] * 10)
+    tree = DecisionTreeClassifier(max_depth=2, rng=0).fit(X, y)
+    structure = tree.tree_structure()
+    assert structure.depth == 2  # guard: the fixture shape the tests rely on
+    return structure
+
+
+class TestPathDecisions:
+    def test_decode_left_right(self, simple_tree):
+        s = simple_tree
+        leaf = int(s.leaf_indices()[0])
+        decisions = path_branch_decisions(s, s.path_to(leaf))
+        assert all(isinstance(f, int) for f, _, _ in decisions)
+        assert len(decisions) == len(s.path_to(leaf)) - 1
+
+    def test_disconnected_path_rejected(self, simple_tree):
+        with pytest.raises(ValidationError):
+            path_branch_decisions(simple_tree, [0, 5])
+
+
+class TestPathCbr:
+    def test_true_path_scores_perfectly(self, simple_tree):
+        x = np.array([0.1, 0.9])
+        path = simple_tree.prediction_path(x)
+        correct, total = path_cbr(simple_tree, path, x, np.array([0, 1]))
+        assert correct == total > 0
+
+    def test_only_target_features_counted(self, simple_tree):
+        x = np.array([0.1, 0.9])
+        path = simple_tree.prediction_path(x)
+        _, total_all = path_cbr(simple_tree, path, x, np.array([0, 1]))
+        _, total_one = path_cbr(simple_tree, path, x, np.array([1]))
+        assert total_one < total_all
+
+    def test_wrong_path_scores_zero(self, simple_tree):
+        x = np.array([0.1, 0.1])
+        # Take the opposite branch at the root.
+        wrong_leafside = [p for p in simple_tree.leaf_indices()]
+        true_path = simple_tree.prediction_path(x)
+        other = [
+            simple_tree.path_to(int(leaf))
+            for leaf in wrong_leafside
+            if simple_tree.path_to(int(leaf))[1] != true_path[1]
+        ][0]
+        correct, total = path_cbr(simple_tree, other, x, np.array([0]))
+        assert total >= 1 and correct == 0
+
+
+class TestReconstructionCbr:
+    def test_exact_reconstruction_scores_one(self, simple_tree):
+        x = np.array([0.1, 0.9])
+        correct, total = reconstruction_cbr(simple_tree, x, x.copy(), np.array([0, 1]))
+        assert correct == total > 0
+
+    def test_opposite_reconstruction_scores_zero(self, simple_tree):
+        x = np.array([0.1, 0.9])
+        flipped = 1.0 - x
+        correct, _ = reconstruction_cbr(simple_tree, x, flipped, np.array([0, 1]))
+        assert correct == 0
+
+    def test_shape_mismatch(self, simple_tree):
+        with pytest.raises(ValidationError):
+            reconstruction_cbr(
+                simple_tree, np.ones(2), np.ones(3), np.array([0])
+            )
+
+
+class TestAggregateCbr:
+    def test_pools_counts(self):
+        assert aggregate_cbr([(1, 2), (3, 4)]) == pytest.approx(4 / 6)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(aggregate_cbr([]))
+        assert np.isnan(aggregate_cbr([(0, 0)]))
+
+
+class TestCorrelationMetrics:
+    def test_mean_abs_correlation(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=300)
+        block = np.column_stack([z, -z])
+        target = z + 0.01 * rng.normal(size=300)
+        assert mean_abs_correlation_with_columns(block, target) > 0.95
+
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(2000, 3))
+        target = rng.normal(size=2000)
+        assert mean_abs_correlation_with_columns(block, target) < 0.1
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            mean_abs_correlation_with_columns(np.ones((5, 2)), np.ones(4))
+
+    def test_report_structure(self):
+        rng = np.random.default_rng(2)
+        X_adv = rng.random((50, 3))
+        X_target = rng.random((50, 2))
+        V = rng.random((50, 2))
+        mses = np.array([0.1, 0.2])
+        report = correlation_report(X_adv, X_target, V, mses)
+        assert report.corr_with_adv.shape == (2,)
+        assert report.corr_with_pred.shape == (2,)
+        rows = report.rows()
+        assert rows[0][0] == 0 and rows[1][1] == pytest.approx(0.2)
+
+    def test_report_mse_length_checked(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ShapeError):
+            correlation_report(
+                rng.random((10, 2)),
+                rng.random((10, 3)),
+                rng.random((10, 2)),
+                np.array([0.1]),
+            )
+
+    def test_eqn16_matches_manual(self):
+        """Eqn 16: (1/d_adv) Σ |r(x_adv_j, x_target_i)|."""
+        rng = np.random.default_rng(4)
+        X_adv = rng.random((100, 4))
+        target = rng.random(100)
+        from repro.utils.numeric import pearson_correlation
+
+        manual = np.mean(
+            [abs(pearson_correlation(X_adv[:, j], target)) for j in range(4)]
+        )
+        assert mean_abs_correlation_with_columns(X_adv, target) == pytest.approx(manual)

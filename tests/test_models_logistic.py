@@ -1,0 +1,151 @@
+"""Tests for LogisticRegression (binary and multinomial)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import LogisticRegression
+from repro.tensor import Tensor
+from repro.utils.numeric import sigmoid, softmax
+
+
+class TestFitting:
+    def test_binary_accuracy(self, blobs_binary):
+        X, y = blobs_binary
+        model = LogisticRegression(epochs=40, rng=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass_accuracy(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(epochs=40, rng=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_binary_parameter_shapes(self, fitted_lr_binary):
+        assert fitted_lr_binary.coef_.shape == (6,)
+        assert np.isscalar(float(fitted_lr_binary.intercept_))
+
+    def test_multiclass_parameter_shapes(self, fitted_lr):
+        assert fitted_lr.coef_.shape == (6, 3)
+        assert fitted_lr.intercept_.shape == (3,)
+
+    def test_gap_labels_widen_class_count(self):
+        """Labels are class indices: a missing intermediate class still
+        yields a confidence vector wide enough for every index."""
+        X = np.random.default_rng(0).random((10, 2))
+        model = LogisticRegression(epochs=5, rng=0).fit(X, np.array([0, 2] * 5))
+        assert model.n_classes_ == 3
+        assert model.predict_proba(X).shape == (10, 3)
+
+    def test_single_class_rejected(self):
+        X = np.random.default_rng(0).random((10, 2))
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(X, np.zeros(10, dtype=int))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression(lr=0.0)
+        with pytest.raises(ValidationError):
+            LogisticRegression(epochs=0)
+        with pytest.raises(ValidationError):
+            LogisticRegression(l2=-1.0)
+
+
+class TestPrediction:
+    def test_proba_rows_sum_to_one(self, fitted_lr, blobs):
+        X, _ = blobs
+        np.testing.assert_allclose(fitted_lr.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_binary_proba_columns_ordered(self, fitted_lr_binary, blobs_binary):
+        """Column k must be P(y = k): verified against the sigmoid score."""
+        X, _ = blobs_binary
+        v = fitted_lr_binary.predict_proba(X[:5])
+        z = X[:5] @ fitted_lr_binary.coef_ + float(fitted_lr_binary.intercept_)
+        np.testing.assert_allclose(v[:, 1], sigmoid(z))
+        np.testing.assert_allclose(v[:, 0], 1.0 - sigmoid(z))
+
+    def test_predict_matches_argmax(self, fitted_lr, blobs):
+        X, _ = blobs
+        np.testing.assert_array_equal(
+            fitted_lr.predict(X), fitted_lr.predict_proba(X).argmax(axis=1)
+        )
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba(np.ones((1, 2)))
+
+    def test_wrong_width_rejected(self, fitted_lr):
+        with pytest.raises(ValidationError):
+            fitted_lr.predict_proba(np.ones((1, 99)))
+
+    def test_decision_function_multiclass(self, fitted_lr, blobs):
+        X, _ = blobs
+        z = fitted_lr.decision_function(X[:4])
+        np.testing.assert_allclose(softmax(z, axis=1), fitted_lr.predict_proba(X[:4]))
+
+
+class TestForwardTensor:
+    def test_matches_predict_proba_multiclass(self, fitted_lr, blobs):
+        X, _ = blobs
+        out = fitted_lr.forward_tensor(Tensor(X[:6]))
+        np.testing.assert_allclose(out.data, fitted_lr.predict_proba(X[:6]), atol=1e-12)
+
+    def test_matches_predict_proba_binary(self, fitted_lr_binary, blobs_binary):
+        X, _ = blobs_binary
+        out = fitted_lr_binary.forward_tensor(Tensor(X[:6]))
+        np.testing.assert_allclose(
+            out.data, fitted_lr_binary.predict_proba(X[:6]), atol=1e-12
+        )
+
+    def test_gradients_reach_input(self, fitted_lr, blobs):
+        X, _ = blobs
+        x = Tensor(X[:2], requires_grad=True)
+        fitted_lr.forward_tensor(x).sum().backward()
+        assert x.grad is not None and x.grad.shape == x.shape
+
+
+class TestClassWeightMatrix:
+    def test_multiclass_passthrough(self, fitted_lr):
+        np.testing.assert_array_equal(
+            fitted_lr.class_weight_matrix(), fitted_lr.coef_
+        )
+
+    def test_binary_embedding_consistent_with_proba(self, fitted_lr_binary, blobs_binary):
+        """softmax over the embedded per-class scores must equal predict_proba."""
+        X, _ = blobs_binary
+        W = fitted_lr_binary.class_weight_matrix()
+        b = fitted_lr_binary.class_intercepts()
+        scores = X[:8] @ W + b
+        np.testing.assert_allclose(
+            softmax(scores, axis=1), fitted_lr_binary.predict_proba(X[:8]), atol=1e-12
+        )
+
+    def test_returns_copies(self, fitted_lr):
+        W = fitted_lr.class_weight_matrix()
+        W[0, 0] = 123.0
+        assert fitted_lr.coef_[0, 0] != 123.0
+
+
+class TestSetParameters:
+    def test_binary_roundtrip(self):
+        model = LogisticRegression().set_parameters(np.array([1.0, -2.0]), 0.5)
+        assert model.n_classes_ == 2 and model.n_features_ == 2
+        v = model.predict_proba(np.array([[1.0, 1.0]]))
+        assert v[0, 1] == pytest.approx(sigmoid(np.array([-0.5]))[0])
+
+    def test_multiclass_roundtrip(self):
+        W = np.random.default_rng(0).normal(size=(4, 3))
+        b = np.zeros(3)
+        model = LogisticRegression().set_parameters(W, b)
+        assert model.n_classes_ == 3 and model.n_features_ == 4
+
+    def test_bad_intercept_shape(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().set_parameters(np.zeros((2, 3)), np.zeros(2))
+
+    def test_bad_coef_ndim(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().set_parameters(np.zeros((2, 2, 2)), np.zeros(2))
+
+    def test_single_column_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().set_parameters(np.zeros((2, 1)), np.zeros(1))

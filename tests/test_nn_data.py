@@ -1,0 +1,99 @@
+"""Tests for batching and splitting utilities, incl. partition properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.nn import batch_indices, iterate_batches, train_test_split
+
+
+class TestBatchIndices:
+    @given(st.integers(1, 200), st.integers(1, 50))
+    def test_batches_partition_the_index_set(self, n, batch_size):
+        batches = list(batch_indices(n, batch_size, shuffle=True, rng=0))
+        combined = np.sort(np.concatenate(batches))
+        np.testing.assert_array_equal(combined, np.arange(n))
+
+    @given(st.integers(1, 100), st.integers(1, 30))
+    def test_batch_sizes(self, n, batch_size):
+        batches = list(batch_indices(n, batch_size, shuffle=False))
+        assert all(len(b) == batch_size for b in batches[:-1])
+        assert 1 <= len(batches[-1]) <= batch_size
+
+    def test_drop_last(self):
+        batches = list(batch_indices(10, 3, shuffle=False, drop_last=True))
+        assert [len(b) for b in batches] == [3, 3, 3]
+
+    def test_no_shuffle_is_ordered(self):
+        batches = list(batch_indices(6, 2, shuffle=False))
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_shuffle_deterministic_with_seed(self):
+        a = list(batch_indices(20, 7, rng=5))
+        b = list(batch_indices(20, 7, rng=5))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            list(batch_indices(0, 2))
+        with pytest.raises(ValidationError):
+            list(batch_indices(5, 0))
+
+
+class TestIterateBatches:
+    def test_aligned_batches(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        for xb, yb in iterate_batches((X, y), 3, shuffle=False):
+            np.testing.assert_array_equal(xb[:, 0] // 2, yb)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            list(iterate_batches((np.zeros((3, 1)), np.zeros(4)), 2))
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            list(iterate_batches([], 2))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = np.zeros((10, 2)), np.zeros(10, dtype=int)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.3, rng=0)
+        assert X_te.shape[0] == 3 and X_tr.shape[0] == 7
+        assert y_te.shape[0] == 3 and y_tr.shape[0] == 7
+
+    def test_disjoint_and_complete(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.5, rng=1)
+        seen = np.sort(np.concatenate([y_tr, y_te]))
+        np.testing.assert_array_equal(seen, np.arange(10))
+
+    def test_rows_stay_aligned(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        y = (X[:, 0] > 0).astype(int)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, rng=2)
+        np.testing.assert_array_equal((X_tr[:, 0] > 0).astype(int), y_tr)
+        np.testing.assert_array_equal((X_te[:, 0] > 0).astype(int), y_te)
+
+    def test_invalid_fraction(self):
+        X, y = np.zeros((4, 1)), np.zeros(4, dtype=int)
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValidationError):
+                train_test_split(X, y, test_fraction=bad)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            train_test_split(np.zeros((3, 1)), np.zeros(4, dtype=int))
+
+    def test_deterministic(self):
+        X, y = np.arange(12).reshape(6, 2), np.arange(6)
+        a = train_test_split(X, y, rng=3)
+        b = train_test_split(X, y, rng=3)
+        for x1, x2 in zip(a, b):
+            np.testing.assert_array_equal(x1, x2)

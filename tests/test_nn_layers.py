@@ -1,0 +1,208 @@
+"""Tests for nn layers: Linear, activations, LayerNorm, Dropout, mlp()."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.nn import (
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    mlp,
+)
+from repro.nn.init import get_initializer, kaiming_uniform, normal_init, xavier_uniform
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(3, 5, rng=0)
+        assert layer(Tensor(np.ones((7, 3)))).shape == (7, 5)
+
+    def test_affine_math(self):
+        layer = Linear(2, 2, rng=0)
+        layer.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.data = np.array([0.5, -0.5])
+        out = layer(Tensor(np.array([[3.0, 4.0]])))
+        np.testing.assert_array_equal(out.data, [[3.5, 7.5]])
+
+    def test_no_bias_option(self):
+        layer = Linear(2, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_input_width_rejected(self):
+        with pytest.raises(ShapeError):
+            Linear(3, 2, rng=0)(Tensor(np.ones((1, 4))))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ShapeError):
+            Linear(3, 2, rng=0)(Tensor(np.ones(3)))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            Linear(0, 2)
+        with pytest.raises(ValidationError):
+            Linear(2, -1)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=0)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert gradcheck(lambda a: layer(a), [x])
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize(
+        "layer,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (Tanh(), np.tanh),
+        ],
+    )
+    def test_matches_numpy(self, layer, fn):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, fn(x), atol=1e-12)
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.2)(Tensor(np.array([[-1.0, 1.0]])))
+        np.testing.assert_allclose(out.data, [[-0.2, 1.0]])
+
+    def test_leaky_relu_invalid_slope(self):
+        with pytest.raises(ValidationError):
+            LeakyReLU(-0.1)
+
+    def test_softmax_layer_rows_sum(self):
+        out = Softmax()(Tensor(np.random.default_rng(0).normal(size=(3, 5))))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        net = Sequential(ReLU(), Sigmoid())
+        out = net(Tensor(np.array([[-2.0]])))
+        assert out.data[0, 0] == pytest.approx(0.5)
+
+    def test_len_getitem(self):
+        net = Sequential(ReLU(), Tanh())
+        assert len(net) == 2
+        assert isinstance(net[1], Tanh)
+
+    def test_append(self):
+        net = Sequential(ReLU())
+        net.append(Sigmoid())
+        assert len(net) == 2
+
+    def test_non_module_rejected(self):
+        with pytest.raises(ValidationError):
+            Sequential(lambda x: x)
+        with pytest.raises(ValidationError):
+            Sequential(ReLU()).append("not a module")
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        ln = LayerNorm(8)
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(6, 8))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_apply(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        out = ln(Tensor(np.random.default_rng(0).normal(size=(5, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=1), 1.0, atol=1e-8)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            LayerNorm(4)(Tensor(np.ones((2, 5))))
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValidationError):
+            LayerNorm(4, eps=0.0)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(5)
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        assert gradcheck(lambda a: ln(a), [x])
+
+
+class TestDropoutLayer:
+    def test_train_mode_drops(self):
+        layer = Dropout(0.5, rng=0)
+        out = layer(Tensor(np.ones(1000)))
+        assert (out.data == 0).any()
+
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = Tensor(np.ones(10))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            Dropout(1.0)
+
+
+class TestMlpBuilder:
+    def test_structure(self):
+        net = mlp([4, 8, 3], rng=0)
+        # Linear, ReLU, Linear — no activation after the output.
+        assert len(net) == 3
+        assert isinstance(net[0], Linear) and isinstance(net[2], Linear)
+
+    def test_layer_norm_and_dropout_inserted(self):
+        net = mlp([4, 8, 3], layer_norm=True, dropout=0.2, rng=0)
+        kinds = [type(layer).__name__ for layer in net.layers]
+        assert kinds == ["Linear", "LayerNorm", "ReLU", "Dropout", "Linear"]
+
+    def test_forward_shape(self):
+        net = mlp([4, 16, 8, 2], rng=0)
+        assert net(Tensor(np.ones((5, 4)))).shape == (5, 2)
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            mlp([4])
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValidationError):
+            mlp([4, 2], activation="gelu")
+
+
+class TestInitializers:
+    def test_xavier_bound(self):
+        w = xavier_uniform(100, 50, rng=0)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_bound(self):
+        w = kaiming_uniform(100, 50, rng=0)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 100)
+
+    def test_normal_scale(self):
+        w = normal_init(1000, 100, rng=0, std=0.01)
+        assert w.std() == pytest.approx(0.01, rel=0.1)
+
+    def test_shapes(self):
+        assert xavier_uniform(3, 7, rng=0).shape == (3, 7)
+
+    def test_invalid_fans(self):
+        with pytest.raises(ValidationError):
+            xavier_uniform(0, 5)
+
+    def test_lookup(self):
+        assert get_initializer("xavier") is xavier_uniform
+        with pytest.raises(ValidationError):
+            get_initializer("nope")
+
+    def test_invalid_std(self):
+        with pytest.raises(ValidationError):
+            normal_init(2, 2, std=0.0)

@@ -1,0 +1,117 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nn import Adam, Parameter, SGD, make_optimizer
+from repro.tensor import Tensor
+
+
+def quadratic_loss(p: Parameter, target: np.ndarray) -> Tensor:
+    diff = p - Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, p, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(p, target)
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(p, target).item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        final = run_steps(SGD([p], lr=0.1), p, target, 100)
+        assert final < 1e-6
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+        p1 = Parameter(np.array([10.0]))
+        plain = run_steps(SGD([p1], lr=0.01), p1, target, 30)
+        p2 = Parameter(np.array([10.0]))
+        momentum = run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, target, 30)
+        assert momentum < plain
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * Tensor(np.array([0.0]))).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no backward happened
+        assert p.data[0] == 1.0
+
+    def test_invalid_hyperparams(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValidationError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValidationError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValidationError):
+            SGD([p], lr=0.1, weight_decay=-1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValidationError):
+            SGD([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(ValidationError):
+            SGD([Tensor(np.zeros(1))], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        final = run_steps(Adam([p], lr=0.1), p, np.array([1.0, 2.0]), 200)
+        assert final < 1e-6
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should have magnitude ≈ lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.1)
+            opt.zero_grad()
+            (p * scale).sum().backward()
+            opt.step()
+            assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        (p * Tensor(np.array([0.0]))).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_hyperparams(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValidationError):
+            Adam([p], lr=0.1, betas=(1.0, 0.999))
+        with pytest.raises(ValidationError):
+            Adam([p], lr=0.1, eps=0.0)
+        with pytest.raises(ValidationError):
+            Adam([p], lr=0.1, weight_decay=-0.5)
+
+
+class TestMakeOptimizer:
+    def test_builds_both_kinds(self):
+        p = Parameter(np.zeros(1))
+        assert isinstance(make_optimizer("sgd", [p], 0.1), SGD)
+        assert isinstance(make_optimizer("adam", [p], 0.1), Adam)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            make_optimizer("rmsprop", [Parameter(np.zeros(1))], 0.1)
+
+    def test_kwargs_forwarded(self):
+        opt = make_optimizer("sgd", [Parameter(np.zeros(1))], 0.1, momentum=0.5)
+        assert opt.momentum == 0.5

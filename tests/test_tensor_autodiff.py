@@ -1,0 +1,259 @@
+"""Gradient-correctness tests: every op checked against finite differences.
+
+GRNA's validity rests entirely on these gradients, so coverage here is
+deliberately exhaustive, including composite expressions shaped like the
+actual generator + VFL-model stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GradientError
+from repro.tensor import Tensor, concat, gradcheck
+from repro.tensor import functional as F
+
+RNG = np.random.default_rng(12345)
+
+
+def arr(*shape):
+    return RNG.normal(size=shape)
+
+
+def pos(*shape):
+    return RNG.random(shape) + 0.5
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        assert gradcheck(lambda a, b: a + b, [arr(3, 4), arr(3, 4)])
+
+    def test_add_broadcast(self):
+        assert gradcheck(lambda a, b: a + b, [arr(3, 4), arr(4)])
+
+    def test_add_broadcast_column(self):
+        assert gradcheck(lambda a, b: a + b, [arr(3, 4), arr(3, 1)])
+
+    def test_mul(self):
+        assert gradcheck(lambda a, b: a * b, [arr(3, 4), arr(3, 4)])
+
+    def test_mul_broadcast(self):
+        assert gradcheck(lambda a, b: a * b, [arr(2, 5), arr(5)])
+
+    def test_sub(self):
+        assert gradcheck(lambda a, b: a - b, [arr(4), arr(4)])
+
+    def test_div(self):
+        assert gradcheck(lambda a, b: a / b, [arr(4), pos(4)])
+
+    def test_pow(self):
+        assert gradcheck(lambda a: a ** 3, [arr(5)])
+
+    def test_pow_negative_exponent(self):
+        assert gradcheck(lambda a: a ** -2.0, [pos(5)])
+
+    def test_neg(self):
+        assert gradcheck(lambda a: -a, [arr(3)])
+
+
+class TestTranscendentalGrads:
+    def test_exp(self):
+        assert gradcheck(lambda a: a.exp(), [arr(4)])
+
+    def test_log(self):
+        assert gradcheck(lambda a: a.log(), [pos(4)])
+
+    def test_sqrt(self):
+        assert gradcheck(lambda a: a.sqrt(), [pos(4)])
+
+    def test_tanh(self):
+        assert gradcheck(lambda a: a.tanh(), [arr(4)])
+
+    def test_sigmoid(self):
+        assert gradcheck(lambda a: a.sigmoid(), [arr(4)])
+
+    def test_relu_away_from_kink(self):
+        x = arr(20)
+        x[np.abs(x) < 0.1] += 0.2  # keep away from the non-differentiable point
+        assert gradcheck(lambda a: a.relu(), [x])
+
+    def test_abs_away_from_kink(self):
+        x = arr(20)
+        x[np.abs(x) < 0.1] += 0.2
+        assert gradcheck(lambda a: a.abs(), [x])
+
+    def test_clip_interior(self):
+        x = RNG.uniform(0.2, 0.8, size=10)
+        assert gradcheck(lambda a: a.clip(0.0, 1.0), [x])
+
+    def test_clip_gradient_zero_outside(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 0.0])
+
+
+class TestReductionGrads:
+    def test_sum_all(self):
+        assert gradcheck(lambda a: a.sum(), [arr(3, 4)])
+
+    def test_sum_axis0(self):
+        assert gradcheck(lambda a: a.sum(axis=0), [arr(3, 4)])
+
+    def test_sum_axis1_keepdims(self):
+        assert gradcheck(lambda a: a.sum(axis=1, keepdims=True), [arr(3, 4)])
+
+    def test_sum_negative_axis(self):
+        assert gradcheck(lambda a: a.sum(axis=-1), [arr(3, 4)])
+
+    def test_mean(self):
+        assert gradcheck(lambda a: a.mean(), [arr(3, 4)])
+
+    def test_mean_axis(self):
+        assert gradcheck(lambda a: a.mean(axis=0), [arr(5, 2)])
+
+    def test_var(self):
+        assert gradcheck(lambda a: a.var(), [arr(6)])
+
+    def test_var_axis(self):
+        assert gradcheck(lambda a: a.var(axis=0), [arr(5, 3)])
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        assert gradcheck(lambda a: a.reshape(6), [arr(2, 3)])
+
+    def test_transpose(self):
+        assert gradcheck(lambda a: a.T, [arr(2, 3)])
+
+    def test_getitem_slice(self):
+        assert gradcheck(lambda a: a[1:3], [arr(5, 2)])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2])
+        assert gradcheck(lambda a: a[:, idx], [arr(3, 4)])
+
+    def test_getitem_repeated_index_accumulates(self):
+        t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        idx = np.array([0, 0, 1])
+        t[idx].sum().backward()
+        np.testing.assert_array_equal(t.grad, [2.0, 1.0])
+
+    def test_concat_axis1(self):
+        assert gradcheck(lambda a, b: concat([a, b], axis=1), [arr(3, 2), arr(3, 4)])
+
+    def test_concat_axis0(self):
+        assert gradcheck(lambda a, b: concat([a, b], axis=0), [arr(2, 3), arr(4, 3)])
+
+
+class TestMatmulGrads:
+    def test_matmul(self):
+        assert gradcheck(lambda a, b: a @ b, [arr(3, 4), arr(4, 2)])
+
+    def test_chained_matmul(self):
+        assert gradcheck(
+            lambda a, b, c: (a @ b) @ c, [arr(2, 3), arr(3, 4), arr(4, 2)]
+        )
+
+
+class TestFunctionalGrads:
+    def test_softmax(self):
+        assert gradcheck(lambda a: F.softmax(a, axis=1), [arr(3, 5)])
+
+    def test_log_softmax(self):
+        assert gradcheck(lambda a: F.log_softmax(a, axis=1), [arr(3, 5)])
+
+    def test_mse_loss(self):
+        target = arr(3, 2)
+        assert gradcheck(lambda a: F.mse_loss(a, Tensor(target)), [arr(3, 2)])
+
+    def test_bce_loss(self):
+        p = RNG.uniform(0.1, 0.9, size=(4, 1))
+        target = RNG.integers(0, 2, size=(4, 1)).astype(float)
+        assert gradcheck(
+            lambda a: F.binary_cross_entropy(a, Tensor(target)), [p]
+        )
+
+    def test_cross_entropy(self):
+        labels = np.array([0, 2, 1])
+        assert gradcheck(lambda a: F.cross_entropy(a, labels), [arr(3, 4)])
+
+    def test_soft_cross_entropy(self):
+        target = np.abs(arr(3, 4))
+        target /= target.sum(axis=1, keepdims=True)
+        assert gradcheck(
+            lambda a: F.soft_cross_entropy(a, Tensor(target)), [arr(3, 4)]
+        )
+
+    def test_leaky_relu(self):
+        x = arr(10)
+        x[np.abs(x) < 0.1] += 0.2
+        assert gradcheck(lambda a: F.leaky_relu(a, 0.1), [x])
+
+
+class TestCompositeGrads:
+    def test_generator_like_stack(self):
+        """The exact op pattern of GRNA: concat -> permute -> model -> MSE."""
+        perm = np.array([3, 0, 4, 1, 2])
+        W = arr(5, 3)
+        v = np.abs(arr(2, 3))
+        v /= v.sum(axis=1, keepdims=True)
+
+        def stack(x_adv, x_hat):
+            full = concat([x_adv, x_hat], axis=1)[:, perm]
+            logits = full @ Tensor(W)
+            return F.mse_loss(F.softmax(logits, axis=1), Tensor(v))
+
+        assert gradcheck(stack, [arr(2, 3), arr(2, 2)])
+
+    def test_layernorm_like_expression(self):
+        def ln(x):
+            mu = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            return (x - mu) / (var + 1e-5).sqrt()
+
+        assert gradcheck(ln, [arr(3, 6)])
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 1.0, 1.0])
+
+    def test_diamond_graph_accumulates(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = t * t + t  # dt = 2t + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_reused_subexpression(self):
+        t = Tensor(np.array([1.5]), requires_grad=True)
+        s = t.sigmoid()
+        (s * s).backward()  # d/dt s^2 = 2 s s'
+        s_val = 1 / (1 + np.exp(-1.5))
+        np.testing.assert_allclose(t.grad, [2 * s_val * s_val * (1 - s_val)], atol=1e-10)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(2, 4))
+    @settings(max_examples=10)
+    def test_random_mlp_shapes(self, n, d, h):
+        rng = np.random.default_rng(n * 100 + d * 10 + h)
+        x = rng.normal(size=(n, d))
+        w1 = rng.normal(size=(d, h))
+        w2 = rng.normal(size=(h, 2))
+        assert gradcheck(
+            lambda a, b, c: F.softmax((a @ b).tanh() @ c, axis=1), [x, w1, w2]
+        )
+
+
+class TestGradcheckSelf:
+    def test_detects_wrong_gradient(self):
+        """gradcheck must fail when given a function with a broken gradient."""
+
+        def broken(x):
+            # Forward is x^2 but we sneak in a detach that kills the graph.
+            return Tensor(x.data ** 2, requires_grad=True) + 0.0 * x
+
+        with pytest.raises(GradientError):
+            gradcheck(broken, [arr(3)])

@@ -1,0 +1,123 @@
+"""Forward-behaviour tests for repro.tensor.functional."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from repro.utils.numeric import softmax as np_softmax
+
+
+class TestSoftmax:
+    def test_matches_numpy_kernel(self):
+        z = np.random.default_rng(0).normal(size=(4, 5))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(z), axis=1).data, np_softmax(z, axis=1)
+        )
+
+    def test_rows_sum_to_one(self):
+        z = np.random.default_rng(1).normal(size=(3, 4)) * 10
+        np.testing.assert_allclose(F.softmax(Tensor(z), axis=1).data.sum(axis=1), 1.0)
+
+    def test_extreme_logits_stable(self):
+        out = F.softmax(Tensor(np.array([[1e6, 0.0]])), axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_consistency(self):
+        z = np.random.default_rng(2).normal(size=(2, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(z), axis=1).data,
+            np.log(np_softmax(z, axis=1)),
+            atol=1e-12,
+        )
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = np.array([[0.0, 0.0]])
+        assert F.mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_mse_zero_at_target(self):
+        t = np.random.default_rng(0).normal(size=(3, 2))
+        assert F.mse_loss(Tensor(t), t).item() == 0.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            F.mse_loss(Tensor(np.ones((2, 2))), np.ones((2, 3)))
+
+    def test_bce_perfect_prediction_near_zero(self):
+        pred = Tensor(np.array([[0.999], [0.001]]))
+        target = np.array([[1.0], [0.0]])
+        assert F.binary_cross_entropy(pred, target).item() < 0.01
+
+    def test_bce_handles_exact_zero_one(self):
+        pred = Tensor(np.array([[1.0], [0.0]]))
+        target = np.array([[1.0], [0.0]])
+        assert np.isfinite(F.binary_cross_entropy(pred, target).item())
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        assert F.cross_entropy(logits, np.array([0, 3])).item() == pytest.approx(
+            np.log(4)
+        )
+
+    def test_cross_entropy_label_out_of_range(self):
+        with pytest.raises(ValidationError):
+            F.cross_entropy(Tensor(np.zeros((1, 3))), np.array([3]))
+
+    def test_cross_entropy_shape_checks(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_soft_cross_entropy_matches_hard(self):
+        """Soft CE with one-hot targets equals hard CE."""
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        onehot = np.eye(3)[labels]
+        soft = F.soft_cross_entropy(Tensor(logits), onehot).item()
+        hard = F.cross_entropy(Tensor(logits), labels).item()
+        assert soft == pytest.approx(hard)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_probability_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert F.dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zeros_appear(self):
+        out = F.dropout(Tensor(np.ones(1000)), 0.5, np.random.default_rng(0))
+        assert (out.data == 0).sum() > 300
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            F.dropout(Tensor(np.ones(2)), -0.1, np.random.default_rng(0))
+
+
+class TestLeakyRelu:
+    def test_positive_passthrough(self):
+        np.testing.assert_allclose(
+            F.leaky_relu(Tensor(np.array([2.0])), 0.1).data, [2.0]
+        )
+
+    def test_negative_scaled(self):
+        np.testing.assert_allclose(
+            F.leaky_relu(Tensor(np.array([-2.0])), 0.1).data, [-0.2]
+        )

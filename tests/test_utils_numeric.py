@@ -1,0 +1,148 @@
+"""Tests for repro.utils.numeric (stable kernels), incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.utils.numeric import (
+    log_sigmoid,
+    logit,
+    logsumexp,
+    one_hot,
+    pearson_correlation,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+
+finite_floats = st.floats(-50, 50, allow_nan=False)
+float_arrays = hnp.arrays(np.float64, st.integers(1, 20), elements=finite_floats)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extreme_values_stable(self):
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    @given(float_arrays)
+    def test_in_unit_interval(self, x):
+        s = sigmoid(x)
+        assert np.all(s >= 0) and np.all(s <= 1)
+
+    @given(st.floats(-15, 15))
+    def test_logit_inverts_sigmoid(self, x):
+        # Beyond ~|x| > 20 the float64 representation of sigmoid saturates
+        # and inversion necessarily loses precision, so test the regime
+        # where confidence scores are meaningfully distinguishable.
+        assert logit(sigmoid(np.array([x])))[0] == pytest.approx(x, abs=1e-6)
+
+
+class TestLogSigmoid:
+    @given(float_arrays)
+    def test_matches_naive_in_safe_range(self, x):
+        np.testing.assert_allclose(log_sigmoid(x), np.log(sigmoid(x)), atol=1e-10)
+
+    def test_extreme_negative_stable(self):
+        assert np.isfinite(log_sigmoid(np.array([-1e4]))[0])
+
+
+class TestSoftmax:
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(2, 6)), elements=finite_floats))
+    def test_rows_sum_to_one(self, z):
+        p = softmax(z, axis=1)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(p >= 0)
+
+    def test_shift_invariance(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0), atol=1e-12)
+
+    def test_huge_logits_stable(self):
+        p = softmax(np.array([[1e8, 0.0]]))
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_ratio_identity(self):
+        """The identity ESA relies on: ln v_k - ln v_j = z_k - z_j."""
+        z = np.array([0.3, -1.2, 2.5])
+        v = softmax(z)
+        for k in range(2):
+            assert np.log(v[k]) - np.log(v[k + 1]) == pytest.approx(z[k] - z[k + 1])
+
+
+class TestLogsumexp:
+    @given(float_arrays)
+    def test_matches_naive(self, z):
+        np.testing.assert_allclose(logsumexp(z), np.log(np.exp(z).sum()), atol=1e-8)
+
+    def test_large_values_stable(self):
+        assert logsumexp(np.array([1e4, 1e4])) == pytest.approx(1e4 + np.log(2))
+
+
+class TestStableLog:
+    def test_zero_clipped(self):
+        assert np.isfinite(stable_log(np.array([0.0]))[0])
+
+    def test_normal_values_unchanged(self):
+        assert stable_log(np.array([np.e]))[0] == pytest.approx(1.0)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rows_sum_to_one(self):
+        out = one_hot(np.array([1, 1, 0]), 4)
+        np.testing.assert_array_equal(out.sum(axis=1), 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([3]), 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([-1]), 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([[0]]), 3)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation(np.ones(1), np.ones(1))
+
+    @given(hnp.arrays(np.float64, 20, elements=finite_floats), hnp.arrays(np.float64, 20, elements=finite_floats))
+    def test_bounded(self, a, b):
+        assert -1.0 <= pearson_correlation(a, b) <= 1.0

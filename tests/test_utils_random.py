@@ -1,0 +1,69 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.random import check_random_state, spawn_rngs
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(check_random_state(np.int64(7)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        a1, a2 = spawn_rngs(3, 2)
+        b1, b2 = spawn_rngs(3, 2)
+        np.testing.assert_array_equal(a1.random(4), b1.random(4))
+        np.testing.assert_array_equal(a2.random(4), b2.random(4))
+
+    def test_consumes_parent_generator(self):
+        parent = np.random.default_rng(0)
+        first = spawn_rngs(parent, 1)[0].random(3)
+        second = spawn_rngs(parent, 1)[0].random(3)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,131 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability_vector,
+    check_vector,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_coerces_to_float64(self):
+        out = check_array([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ShapeError):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([])
+
+    def test_empty_allowed_when_requested(self):
+        out = check_array([], allow_empty=True)
+        assert out.size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, np.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValidationError, match="weights"):
+            check_array([np.nan], name="weights")
+
+
+class TestMatrixVector:
+    def test_matrix_happy_path(self):
+        assert check_matrix([[1, 2], [3, 4]]).shape == (2, 2)
+
+    def test_matrix_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_matrix([1, 2, 3])
+
+    def test_vector_happy_path(self):
+        assert check_vector([1, 2, 3]).shape == (3,)
+
+    def test_vector_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_vector([[1, 2]])
+
+
+class TestCheckXy:
+    def test_happy_path(self):
+        X, y = check_X_y([[1.0, 2.0], [3.0, 4.0]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_X_y([[1.0, 2.0]], [0, 1])
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            check_X_y([[1.0], [2.0]], [0, -1])
+
+
+class TestCheckPositiveInt:
+    @pytest.mark.parametrize("value", [1, 5, np.int64(3)])
+    def test_accepts(self, value):
+        assert check_positive_int(value, name="n") == int(value)
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "3", True])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value, name="n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, name="x", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, name="x", low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, name="x", low=0.0, inclusive=False)
+
+    def test_below_low(self):
+        with pytest.raises(ValidationError):
+            check_in_range(-0.1, name="x", low=0.0)
+
+    def test_above_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.1, name="x", high=1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(float("nan"), name="x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(True, name="x")
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        v = check_probability_vector([0.2, 0.3, 0.5])
+        assert v.sum() == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.2, 0.2])
+
+    def test_tiny_negative_clipped(self):
+        v = check_probability_vector([1.0 + 1e-9, -1e-9])
+        assert (v >= 0).all()
