@@ -1,0 +1,23 @@
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke docs-check
+
+## test: run the full test suite (tier-1 gate)
+test:
+	$(PY) -m pytest -x -q
+
+## smoke: regenerate everything at smoke scale, in parallel, resumably
+smoke:
+	$(PY) -m repro.experiments all --scale smoke --jobs 2 --store-dir .cache/results
+
+## docs-check: docs exist, stay in sync with the CLI, and the API self-describes
+docs-check:
+	test -f README.md
+	test -f docs/architecture.md
+	grep -q -- '--jobs' README.md
+	grep -q -- '--store-dir' README.md
+	grep -q 'trial_units' docs/architecture.md
+	$(PY) -m repro.experiments --help > /dev/null
+	$(PY) -c "import repro.experiments as e; assert e.__doc__ and 'run_batch' in e.__doc__; \
+	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"

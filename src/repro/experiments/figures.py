@@ -5,6 +5,14 @@ the series plotted in the corresponding figure. Absolute values depend on
 the synthetic stand-in datasets (see DESIGN.md); the claims under
 reproduction are the *shapes*: who beats whom, monotonicity in d_target,
 and where the exactness threshold falls.
+
+Every figure is decomposed into independent trial units (see
+:mod:`repro.experiments.spec`): ``figN_units`` enumerates the
+``(dataset, fraction, trial)`` grid, ``figN_run_unit`` executes one cell,
+and ``figN_aggregate`` folds payloads back into the paper's table. The
+public ``figN`` entry points run the same units serially, so classic
+calls, ``run_batch(..., jobs=N)``, and store-resumed runs all produce
+identical tables.
 """
 
 from __future__ import annotations
@@ -23,6 +31,14 @@ from repro.defenses import RoundedModel
 from repro.experiments.common import build_scenario, grna_kwargs_from_scale
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import (
+    ExperimentSpec,
+    TrialSpec,
+    derive_trial_seeds,
+    ensure_unique_unit_ids,
+    group_payloads as _group_by,
+    register_experiment,
+)
 from repro.metrics import (
     aggregate_cbr,
     correlation_report,
@@ -32,14 +48,22 @@ from repro.metrics import (
     reconstruction_cbr,
 )
 from repro.models import RandomForestDistiller
-from repro.utils.random import check_random_state, spawn_rngs
+from repro.utils.random import spawn_rngs
 
 REAL_DATASETS = ("bank", "credit", "drive", "news")
 
+#: Fig. 10 panels: (dataset, model kind, d_target fraction), as in the paper.
+FIG10_PANELS = (("bank", "lr", 0.4), ("credit", "rf", 0.3))
 
-def _trial_seeds(seed: int, n_trials: int) -> list[int]:
-    rng = check_random_state(seed)
-    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n_trials)]
+#: Fig. 11 rounding levels: (row label, decimal digits kept; None = undefended).
+ROUNDING_LEVELS = (("round_0.1", 1), ("round_0.001", 3), ("no_round", None))
+
+#: Fig. 11 dropout levels for the NN panels: (row label, dropout probability).
+DROPOUT_LEVELS = (("dropout", 0.25), ("no_dropout", 0.0))
+
+
+def _pct(fraction: float) -> int:
+    return int(round(fraction * 100))
 
 
 def _random_guess_mses(
@@ -48,47 +72,92 @@ def _random_guess_mses(
     uniform = RandomGuessAttack(view, distribution="uniform", rng=rng).run(X_adv)
     gaussian = RandomGuessAttack(view, distribution="gaussian", rng=rng).run(X_adv)
     return (
-        mse_per_feature(uniform.x_target_hat, X_target),
-        mse_per_feature(gaussian.x_target_hat, X_target),
+        float(mse_per_feature(uniform.x_target_hat, X_target)),
+        float(mse_per_feature(gaussian.x_target_hat, X_target)),
     )
+
+
+def _run_serial(
+    units: list[TrialSpec],
+    run_unit,
+    aggregate,
+    scale: ScaleConfig,
+    **aggregate_kwargs,
+) -> ExperimentResult:
+    """Execute units in-process and aggregate — the classic serial path."""
+    ensure_unique_unit_ids(units)
+    results = {unit.unit_id: run_unit(unit, scale) for unit in units}
+    return aggregate(scale, units, results, **aggregate_kwargs)
 
 
 # ----------------------------------------------------------------------
 # Fig. 5 — Equality Solving Attack, MSE per feature vs d_target
 # ----------------------------------------------------------------------
-def fig5_esa(
-    scale: "str | ScaleConfig" = "default",
+def fig5_units(
+    scale: "str | ScaleConfig",
     *,
     datasets: tuple[str, ...] = REAL_DATASETS,
     seed: int = 5,
+) -> list[TrialSpec]:
+    """One unit per (dataset, fraction, trial) cell of Fig. 5."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fig5",
+            f"{dataset}:{_pct(fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            fraction=fraction,
+        )
+        for dataset in datasets
+        for fraction in scale.fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fig5_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """ESA + random-guess baselines on one scenario."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "lr", params["fraction"], scale, spec.seed
+    )
+    attack = EqualitySolvingAttack(scenario.model, scenario.view)
+    result = attack.run(scenario.X_adv, scenario.V)
+    rg_u, rg_g = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    return {
+        "esa_mse": float(mse_per_feature(result.x_target_hat, scenario.X_target)),
+        "rg_uniform_mse": rg_u,
+        "rg_gaussian_mse": rg_g,
+        "exact": bool(attack.is_exact),
+    }
+
+
+def fig5_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 5,
 ) -> ExperimentResult:
-    """ESA vs random guess across d_target fractions (Fig. 5 series)."""
+    """Average trials into the Fig. 5 series."""
     scale = get_scale(scale)
     rows = []
-    for dataset in datasets:
-        for fraction in scale.fractions:
-            esa_mses, rg_u, rg_g, exact_flags = [], [], [], []
-            for trial_seed in _trial_seeds(seed, scale.n_trials):
-                scenario = build_scenario(dataset, "lr", fraction, scale, trial_seed)
-                attack = EqualitySolvingAttack(scenario.model, scenario.view)
-                result = attack.run(scenario.X_adv, scenario.V)
-                esa_mses.append(mse_per_feature(result.x_target_hat, scenario.X_target))
-                exact_flags.append(attack.is_exact)
-                u, g = _random_guess_mses(
-                    scenario.view, scenario.X_adv, scenario.X_target, trial_seed
-                )
-                rg_u.append(u)
-                rg_g.append(g)
-            rows.append(
-                (
-                    dataset,
-                    int(round(fraction * 100)),
-                    float(np.mean(esa_mses)),
-                    float(np.mean(rg_u)),
-                    float(np.mean(rg_g)),
-                    all(exact_flags),
-                )
+    for (dataset, fraction), payloads in _group_by(
+        units, results, "dataset", "fraction"
+    ).items():
+        rows.append(
+            (
+                dataset,
+                _pct(fraction),
+                float(np.mean([p["esa_mse"] for p in payloads])),
+                float(np.mean([p["rg_uniform_mse"] for p in payloads])),
+                float(np.mean([p["rg_gaussian_mse"] for p in payloads])),
+                all(p["exact"] for p in payloads),
             )
+        )
     return ExperimentResult(
         experiment_id="fig5",
         title="ESA: MSE per feature vs d_target fraction",
@@ -98,58 +167,104 @@ def fig5_esa(
     )
 
 
-# ----------------------------------------------------------------------
-# Fig. 6 — Path Restriction Attack, CBR vs d_target
-# ----------------------------------------------------------------------
-def fig6_pra(
+def fig5_esa(
     scale: "str | ScaleConfig" = "default",
     *,
     datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 5,
+) -> ExperimentResult:
+    """ESA vs random guess across d_target fractions (Fig. 5 series)."""
+    scale = get_scale(scale)
+    units = fig5_units(scale, datasets=datasets, seed=seed)
+    return _run_serial(units, fig5_run_unit, fig5_aggregate, scale, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — Path Restriction Attack, CBR vs d_target
+# ----------------------------------------------------------------------
+def fig6_units(
+    scale: "str | ScaleConfig",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 6,
+) -> list[TrialSpec]:
+    """One unit per (dataset, fraction, trial) cell of Fig. 6."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fig6",
+            f"{dataset}:{_pct(fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            fraction=fraction,
+        )
+        for dataset in datasets
+        for fraction in scale.fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fig6_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """PRA + random-path baseline over every accumulated prediction."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "dt", params["fraction"], scale, spec.seed
+    )
+    structure = scenario.model.tree_structure()
+    attack = PathRestrictionAttack(structure, scenario.view)
+    attack_rng, guess_rng = spawn_rngs(spec.seed, 2)
+    labels = np.argmax(scenario.V, axis=1)
+    counts, rg_counts, restricted = [], [], []
+    for i in range(scenario.X_adv.shape[0]):
+        result = attack.run(scenario.X_adv[i], int(labels[i]), rng=attack_rng)
+        counts.append(
+            path_cbr(
+                structure,
+                result.selected_path,
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+        )
+        rg_counts.append(
+            path_cbr(
+                structure,
+                random_path(structure, guess_rng),
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+        )
+        restricted.append(float(result.n_paths_restricted / result.n_paths_total))
+    return {
+        "pra_cbr": float(aggregate_cbr(counts)),
+        "rg_cbr": float(aggregate_cbr(rg_counts)),
+        "restricted": restricted,
+    }
+
+
+def fig6_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
     seed: int = 6,
 ) -> ExperimentResult:
-    """PRA vs random-path guess across d_target fractions (Fig. 6 series)."""
+    """Average trials into the Fig. 6 series."""
     scale = get_scale(scale)
     rows = []
-    for dataset in datasets:
-        for fraction in scale.fractions:
-            pra_rates, rg_rates, restricted = [], [], []
-            for trial_seed in _trial_seeds(seed, scale.n_trials):
-                scenario = build_scenario(dataset, "dt", fraction, scale, trial_seed)
-                structure = scenario.model.tree_structure()
-                attack = PathRestrictionAttack(structure, scenario.view)
-                attack_rng, guess_rng = spawn_rngs(trial_seed, 2)
-                labels = np.argmax(scenario.V, axis=1)
-                counts, rg_counts = [], []
-                for i in range(scenario.X_adv.shape[0]):
-                    result = attack.run(scenario.X_adv[i], int(labels[i]), rng=attack_rng)
-                    counts.append(
-                        path_cbr(
-                            structure,
-                            result.selected_path,
-                            scenario.X_pred_full[i],
-                            scenario.view.target_indices,
-                        )
-                    )
-                    rg_counts.append(
-                        path_cbr(
-                            structure,
-                            random_path(structure, guess_rng),
-                            scenario.X_pred_full[i],
-                            scenario.view.target_indices,
-                        )
-                    )
-                    restricted.append(result.n_paths_restricted / result.n_paths_total)
-                pra_rates.append(aggregate_cbr(counts))
-                rg_rates.append(aggregate_cbr(rg_counts))
-            rows.append(
-                (
-                    dataset,
-                    int(round(fraction * 100)),
-                    float(np.nanmean(pra_rates)),
-                    float(np.nanmean(rg_rates)),
-                    float(np.mean(restricted)),
-                )
+    for (dataset, fraction), payloads in _group_by(
+        units, results, "dataset", "fraction"
+    ).items():
+        restricted = [value for p in payloads for value in p["restricted"]]
+        rows.append(
+            (
+                dataset,
+                _pct(fraction),
+                float(np.nanmean([p["pra_cbr"] for p in payloads])),
+                float(np.nanmean([p["rg_cbr"] for p in payloads])),
+                float(np.mean(restricted)),
             )
+        )
     return ExperimentResult(
         experiment_id="fig6",
         title="PRA: correct branching rate vs d_target fraction",
@@ -159,46 +274,98 @@ def fig6_pra(
     )
 
 
+def fig6_pra(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 6,
+) -> ExperimentResult:
+    """PRA vs random-path guess across d_target fractions (Fig. 6 series)."""
+    scale = get_scale(scale)
+    units = fig6_units(scale, datasets=datasets, seed=seed)
+    return _run_serial(units, fig6_run_unit, fig6_aggregate, scale, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Fig. 7 — GRNA MSE for LR / RF / NN models
 # ----------------------------------------------------------------------
-def fig7_grna(
-    scale: "str | ScaleConfig" = "default",
+def fig7_units(
+    scale: "str | ScaleConfig",
     *,
     datasets: tuple[str, ...] = REAL_DATASETS,
     models: tuple[str, ...] = ("lr", "rf", "nn"),
     seed: int = 7,
-) -> ExperimentResult:
-    """GRNA on LR/RF/NN vs random guess (Fig. 7 series)."""
+) -> list[TrialSpec]:
+    """One unit per (dataset, fraction, trial); a unit spans all models.
+
+    The random-guess baseline is scored on the last model's scenario (the
+    paper's protocol accumulates one pool per trial), so the whole trial
+    is one unit rather than one unit per model.
+    """
     scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fig7",
+            f"{dataset}:{_pct(fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            fraction=fraction,
+            models=tuple(models),
+        )
+        for dataset in datasets
+        for fraction in scale.fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fig7_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """GRNA against every model kind on one trial's scenarios."""
+    params = spec.kwargs
+    payload: dict[str, float] = {}
+    scenario = None
+    for model_kind in params["models"]:
+        scenario = build_scenario(
+            params["dataset"], model_kind, params["fraction"], scale, spec.seed
+        )
+        x_hat = _run_grna(scenario, model_kind, scale, spec.seed)
+        payload[f"grna_{model_kind}_mse"] = float(
+            mse_per_feature(x_hat, scenario.X_target)
+        )
+    rg_u, rg_g = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    payload["rg_uniform_mse"] = rg_u
+    payload["rg_gaussian_mse"] = rg_g
+    return payload
+
+
+def fig7_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Average trials into the Fig. 7 series (one MSE column per model)."""
+    scale = get_scale(scale)
+    models = tuple(units[0].kwargs["models"]) if units else ("lr", "rf", "nn")
     rows = []
-    for dataset in datasets:
-        for fraction in scale.fractions:
-            per_model: dict[str, list[float]] = {m: [] for m in models}
-            rg_u, rg_g = [], []
-            for trial_seed in _trial_seeds(seed, scale.n_trials):
-                for model_kind in models:
-                    scenario = build_scenario(
-                        dataset, model_kind, fraction, scale, trial_seed
-                    )
-                    x_hat = _run_grna(scenario, model_kind, scale, trial_seed)
-                    per_model[model_kind].append(
-                        mse_per_feature(x_hat, scenario.X_target)
-                    )
-                u, g = _random_guess_mses(
-                    scenario.view, scenario.X_adv, scenario.X_target, trial_seed
-                )
-                rg_u.append(u)
-                rg_g.append(g)
-            rows.append(
-                (
-                    dataset,
-                    int(round(fraction * 100)),
-                    *(float(np.mean(per_model[m])) for m in models),
-                    float(np.mean(rg_u)),
-                    float(np.mean(rg_g)),
-                )
+    for (dataset, fraction), payloads in _group_by(
+        units, results, "dataset", "fraction"
+    ).items():
+        rows.append(
+            (
+                dataset,
+                _pct(fraction),
+                *(
+                    float(np.mean([p[f"grna_{m}_mse"] for p in payloads]))
+                    for m in models
+                ),
+                float(np.mean([p["rg_uniform_mse"] for p in payloads])),
+                float(np.mean([p["rg_gaussian_mse"] for p in payloads])),
             )
+        )
     return ExperimentResult(
         experiment_id="fig7",
         title="GRNA: MSE per feature vs d_target fraction (LR/RF/NN)",
@@ -214,9 +381,25 @@ def fig7_grna(
     )
 
 
+def fig7_grna(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    models: tuple[str, ...] = ("lr", "rf", "nn"),
+    seed: int = 7,
+) -> ExperimentResult:
+    """GRNA on LR/RF/NN vs random guess (Fig. 7 series)."""
+    scale = get_scale(scale)
+    units = fig7_units(scale, datasets=datasets, models=models, seed=seed)
+    return _run_serial(units, fig7_run_unit, fig7_aggregate, scale, seed=seed)
+
+
 def _run_grna(scenario, model_kind: str, scale: ScaleConfig, trial_seed: int) -> np.ndarray:
     """Run GRNA against a scenario, distilling first for forests."""
-    grna_rng, distill_rng = spawn_rngs(trial_seed + 1, 2)
+    # Three streams, prefix-compatible with the historical two-stream split:
+    # the dummy stream fixes attack_random_forest's conditioned-sample rng,
+    # which previously defaulted to OS entropy and made RF runs irreproducible.
+    grna_rng, distill_rng, dummy_rng = spawn_rngs(trial_seed + 1, 3)
     kwargs = grna_kwargs_from_scale(scale, grna_rng)
     if model_kind == "rf":
         distiller = RandomForestDistiller(
@@ -232,6 +415,7 @@ def _run_grna(scenario, model_kind: str, scale: ScaleConfig, trial_seed: int) ->
             scenario.V,
             distiller=distiller,
             grna_kwargs=kwargs,
+            rng=dummy_rng,
         )
         return result.x_target_hat
     attack = GenerativeRegressionNetwork(scenario.model, scenario.view, **kwargs)
@@ -241,58 +425,88 @@ def _run_grna(scenario, model_kind: str, scale: ScaleConfig, trial_seed: int) ->
 # ----------------------------------------------------------------------
 # Fig. 8 — GRNA on the RF model, CBR metric
 # ----------------------------------------------------------------------
-def fig8_grna_rf_cbr(
-    scale: "str | ScaleConfig" = "default",
+def fig8_units(
+    scale: "str | ScaleConfig",
     *,
     datasets: tuple[str, ...] = REAL_DATASETS,
     seed: int = 8,
-) -> ExperimentResult:
-    """Branch agreement of GRNA reconstructions on the true forest (Fig. 8)."""
+) -> list[TrialSpec]:
+    """One unit per (dataset, fraction, trial) cell of Fig. 8."""
     scale = get_scale(scale)
-    rows = []
-    for dataset in datasets:
-        for fraction in scale.fractions:
-            grna_rates, rg_rates = [], []
-            for trial_seed in _trial_seeds(seed, scale.n_trials):
-                scenario = build_scenario(dataset, "rf", fraction, scale, trial_seed)
-                x_hat = _run_grna(scenario, "rf", scale, trial_seed)
-                full_hat = scenario.view.assemble(scenario.X_adv, x_hat)
-                guess = RandomGuessAttack(
-                    scenario.view, distribution="uniform", rng=trial_seed
-                ).run(scenario.X_adv)
-                full_guess = scenario.view.assemble(
-                    scenario.X_adv, guess.x_target_hat
-                )
-                structures = scenario.model.tree_structures()
-                counts, rg_counts = [], []
-                for i in range(scenario.X_pred_full.shape[0]):
-                    for structure in structures:
-                        counts.append(
-                            reconstruction_cbr(
-                                structure,
-                                scenario.X_pred_full[i],
-                                full_hat[i],
-                                scenario.view.target_indices,
-                            )
-                        )
-                        rg_counts.append(
-                            reconstruction_cbr(
-                                structure,
-                                scenario.X_pred_full[i],
-                                full_guess[i],
-                                scenario.view.target_indices,
-                            )
-                        )
-                grna_rates.append(aggregate_cbr(counts))
-                rg_rates.append(aggregate_cbr(rg_counts))
-            rows.append(
-                (
-                    dataset,
-                    int(round(fraction * 100)),
-                    float(np.nanmean(grna_rates)),
-                    float(np.nanmean(rg_rates)),
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fig8",
+            f"{dataset}:{_pct(fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            fraction=fraction,
+        )
+        for dataset in datasets
+        for fraction in scale.fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fig8_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """Branch agreement of one GRNA reconstruction on the true forest."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "rf", params["fraction"], scale, spec.seed
+    )
+    x_hat = _run_grna(scenario, "rf", scale, spec.seed)
+    full_hat = scenario.view.assemble(scenario.X_adv, x_hat)
+    guess = RandomGuessAttack(
+        scenario.view, distribution="uniform", rng=spec.seed
+    ).run(scenario.X_adv)
+    full_guess = scenario.view.assemble(scenario.X_adv, guess.x_target_hat)
+    structures = scenario.model.tree_structures()
+    counts, rg_counts = [], []
+    for i in range(scenario.X_pred_full.shape[0]):
+        for structure in structures:
+            counts.append(
+                reconstruction_cbr(
+                    structure,
+                    scenario.X_pred_full[i],
+                    full_hat[i],
+                    scenario.view.target_indices,
                 )
             )
+            rg_counts.append(
+                reconstruction_cbr(
+                    structure,
+                    scenario.X_pred_full[i],
+                    full_guess[i],
+                    scenario.view.target_indices,
+                )
+            )
+    return {
+        "grna_cbr": float(aggregate_cbr(counts)),
+        "rg_cbr": float(aggregate_cbr(rg_counts)),
+    }
+
+
+def fig8_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 8,
+) -> ExperimentResult:
+    """Average trials into the Fig. 8 series."""
+    scale = get_scale(scale)
+    rows = []
+    for (dataset, fraction), payloads in _group_by(
+        units, results, "dataset", "fraction"
+    ).items():
+        rows.append(
+            (
+                dataset,
+                _pct(fraction),
+                float(np.nanmean([p["grna_cbr"] for p in payloads])),
+                float(np.nanmean([p["rg_cbr"] for p in payloads])),
+            )
+        )
     return ExperimentResult(
         experiment_id="fig8",
         title="GRNA on RF: correct branching rate vs d_target fraction",
@@ -302,51 +516,94 @@ def fig8_grna_rf_cbr(
     )
 
 
+def fig8_grna_rf_cbr(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = REAL_DATASETS,
+    seed: int = 8,
+) -> ExperimentResult:
+    """Branch agreement of GRNA reconstructions on the true forest (Fig. 8)."""
+    scale = get_scale(scale)
+    units = fig8_units(scale, datasets=datasets, seed=seed)
+    return _run_serial(units, fig8_run_unit, fig8_aggregate, scale, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Fig. 9 — effect of the number of accumulated predictions
 # ----------------------------------------------------------------------
-def fig9_num_predictions(
-    scale: "str | ScaleConfig" = "default",
+def fig9_units(
+    scale: "str | ScaleConfig",
     *,
     datasets: tuple[str, ...] = ("synthetic1", "synthetic2", "drive", "news"),
     pool_fractions: tuple[float, ...] = (0.1, 0.3, 0.5),
     seed: int = 9,
+) -> list[TrialSpec]:
+    """One unit per (dataset, fraction, pool fraction, trial) cell."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fig9",
+            f"{dataset}:{_pct(fraction)}:p{_pct(pool_fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            fraction=fraction,
+            pool_fraction=pool_fraction,
+        )
+        for dataset in datasets
+        for fraction in scale.fractions
+        for pool_fraction in pool_fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fig9_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """GRNA-NN with a restricted prediction pool on one scenario."""
+    params = spec.kwargs
+    pool_size = scale.n_samples // 2  # half the data is the prediction pool
+    n_pred = max(16, int(pool_size * params["pool_fraction"]))
+    scenario = build_scenario(
+        params["dataset"],
+        "nn",
+        params["fraction"],
+        scale,
+        spec.seed,
+        n_predictions=n_pred,
+    )
+    x_hat = _run_grna(scenario, "nn", scale, spec.seed)
+    rg_u, rg_g = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    return {
+        "grna_mse": float(mse_per_feature(x_hat, scenario.X_target)),
+        "rg_uniform_mse": rg_u,
+        "rg_gaussian_mse": rg_g,
+    }
+
+
+def fig9_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 9,
 ) -> ExperimentResult:
-    """GRNA-NN accuracy vs number of accumulated predictions (Fig. 9)."""
+    """Average trials into the Fig. 9 series."""
     scale = get_scale(scale)
     rows = []
-    pool_size = scale.n_samples // 2  # half the data is the prediction pool
-    for dataset in datasets:
-        for fraction in scale.fractions:
-            for pool_fraction in pool_fractions:
-                n_pred = max(16, int(pool_size * pool_fraction))
-                mses, rg_u, rg_g = [], [], []
-                for trial_seed in _trial_seeds(seed, scale.n_trials):
-                    scenario = build_scenario(
-                        dataset,
-                        "nn",
-                        fraction,
-                        scale,
-                        trial_seed,
-                        n_predictions=n_pred,
-                    )
-                    x_hat = _run_grna(scenario, "nn", scale, trial_seed)
-                    mses.append(mse_per_feature(x_hat, scenario.X_target))
-                    u, g = _random_guess_mses(
-                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
-                    )
-                    rg_u.append(u)
-                    rg_g.append(g)
-                rows.append(
-                    (
-                        dataset,
-                        int(round(fraction * 100)),
-                        int(round(pool_fraction * 100)),
-                        float(np.mean(mses)),
-                        float(np.mean(rg_u)),
-                        float(np.mean(rg_g)),
-                    )
-                )
+    for (dataset, fraction, pool_fraction), payloads in _group_by(
+        units, results, "dataset", "fraction", "pool_fraction"
+    ).items():
+        rows.append(
+            (
+                dataset,
+                _pct(fraction),
+                _pct(pool_fraction),
+                float(np.mean([p["grna_mse"] for p in payloads])),
+                float(np.mean([p["rg_uniform_mse"] for p in payloads])),
+                float(np.mean([p["rg_gaussian_mse"] for p in payloads])),
+            )
+        )
     return ExperimentResult(
         experiment_id="fig9",
         title="GRNA-NN: effect of number of accumulated predictions",
@@ -363,9 +620,91 @@ def fig9_num_predictions(
     )
 
 
+def fig9_num_predictions(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = ("synthetic1", "synthetic2", "drive", "news"),
+    pool_fractions: tuple[float, ...] = (0.1, 0.3, 0.5),
+    seed: int = 9,
+) -> ExperimentResult:
+    """GRNA-NN accuracy vs number of accumulated predictions (Fig. 9)."""
+    scale = get_scale(scale)
+    units = fig9_units(
+        scale, datasets=datasets, pool_fractions=pool_fractions, seed=seed
+    )
+    return _run_serial(units, fig9_run_unit, fig9_aggregate, scale, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Fig. 10 — per-feature MSE vs correlation diagnostics
 # ----------------------------------------------------------------------
+def fig10_units(
+    scale: "str | ScaleConfig",
+    *,
+    seed: int = 10,
+) -> list[TrialSpec]:
+    """One unit per Fig. 10 panel."""
+    get_scale(scale)
+    trial_seed = derive_trial_seeds(seed, 1)[0]
+    return [
+        TrialSpec.make(
+            "fig10",
+            f"{dataset}:{model_kind}:{_pct(fraction)}",
+            trial_seed,
+            dataset=dataset,
+            model=model_kind,
+            fraction=fraction,
+        )
+        for dataset, model_kind, fraction in FIG10_PANELS
+    ]
+
+
+def fig10_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """One panel: per-feature errors and correlation diagnostics."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], params["model"], params["fraction"], scale, spec.seed
+    )
+    x_hat = _run_grna(scenario, params["model"], scale, spec.seed)
+    report = correlation_report(
+        scenario.X_adv,
+        scenario.X_target,
+        scenario.V,
+        feature_wise_mse(x_hat, scenario.X_target),
+    )
+    return {
+        "rows": [
+            [int(feature_id), float(mse), float(corr_adv), float(corr_pred)]
+            for feature_id, mse, corr_adv, corr_pred in report.rows()
+        ]
+    }
+
+
+def fig10_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 10,
+) -> ExperimentResult:
+    """Concatenate the panels into the Fig. 10 table."""
+    scale = get_scale(scale)
+    rows = []
+    for unit in units:
+        params = unit.kwargs
+        for feature_id, mse, corr_adv, corr_pred in results[unit.unit_id]["rows"]:
+            rows.append(
+                (params["dataset"], params["model"], feature_id, mse, corr_adv, corr_pred)
+            )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Per-feature MSE vs correlation with x_adv and predictions",
+        columns=["dataset", "model", "feature_id", "mse", "corr_with_adv", "corr_with_pred"],
+        rows=rows,
+        meta={"scale": scale.name, "seed": seed},
+    )
+
+
 def fig10_correlations(
     scale: "str | ScaleConfig" = "default",
     *,
@@ -377,122 +716,134 @@ def fig10_correlations(
     as in the paper.
     """
     scale = get_scale(scale)
-    rows = []
-    panels = [("bank", "lr", 0.4), ("credit", "rf", 0.3)]
-    for dataset, model_kind, fraction in panels:
-        trial_seed = _trial_seeds(seed, 1)[0]
-        scenario = build_scenario(dataset, model_kind, fraction, scale, trial_seed)
-        x_hat = _run_grna(scenario, model_kind, scale, trial_seed)
-        report = correlation_report(
-            scenario.X_adv,
-            scenario.X_target,
-            scenario.V,
-            feature_wise_mse(x_hat, scenario.X_target),
-        )
-        for feature_id, mse, corr_adv, corr_pred in report.rows():
-            rows.append(
-                (dataset, model_kind, feature_id, mse, corr_adv, corr_pred)
-            )
-    return ExperimentResult(
-        experiment_id="fig10",
-        title="Per-feature MSE vs correlation with x_adv and predictions",
-        columns=["dataset", "model", "feature_id", "mse", "corr_with_adv", "corr_with_pred"],
-        rows=rows,
-        meta={"scale": scale.name, "seed": seed},
-    )
+    units = fig10_units(scale, seed=seed)
+    return _run_serial(units, fig10_run_unit, fig10_aggregate, scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
 # Fig. 11 — countermeasures
 # ----------------------------------------------------------------------
-def fig11_defenses(
-    scale: "str | ScaleConfig" = "default",
+def fig11_units(
+    scale: "str | ScaleConfig",
+    *,
+    seed: int = 11,
+) -> list[TrialSpec]:
+    """Units for the rounding panels (a-d) and dropout panels (e-f)."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    units = []
+    for dataset in ("bank", "drive"):
+        for fraction in scale.fractions:
+            for label, digits in ROUNDING_LEVELS:
+                for t, trial_seed in enumerate(trial_seeds):
+                    units.append(
+                        TrialSpec.make(
+                            "fig11",
+                            f"{dataset}:lr:{label}:{_pct(fraction)}:t{t}",
+                            trial_seed,
+                            dataset=dataset,
+                            model="lr",
+                            defense=label,
+                            digits=digits,
+                            fraction=fraction,
+                        )
+                    )
+    for dataset in ("credit", "news"):
+        for fraction in scale.fractions:
+            for label, dropout in DROPOUT_LEVELS:
+                for t, trial_seed in enumerate(trial_seeds):
+                    units.append(
+                        TrialSpec.make(
+                            "fig11",
+                            f"{dataset}:nn:{label}:{_pct(fraction)}:t{t}",
+                            trial_seed,
+                            dataset=dataset,
+                            model="nn",
+                            defense=label,
+                            dropout=dropout,
+                            fraction=fraction,
+                        )
+                    )
+    return units
+
+
+def fig11_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """One defended trial: rounding on LR, or dropout on NN."""
+    params = spec.kwargs
+    if params["model"] == "lr":
+        digits = params["digits"]
+        wrapper = (
+            (lambda m, d=digits: RoundedModel(m, d)) if digits is not None else None
+        )
+        scenario = build_scenario(
+            params["dataset"], "lr", params["fraction"], scale, spec.seed,
+            model_wrapper=wrapper,
+        )
+        # Attacks see the undefended weights; only V passed through rounding.
+        inner = scenario.model.model if digits is not None else scenario.model
+        esa = EqualitySolvingAttack(inner, scenario.view)
+        esa_mse = mse_per_feature(
+            esa.run(scenario.X_adv, scenario.V).x_target_hat, scenario.X_target
+        )
+        grna_rng = spawn_rngs(spec.seed + 1, 1)[0]
+        grna = GenerativeRegressionNetwork(
+            inner, scenario.view, **grna_kwargs_from_scale(scale, grna_rng)
+        )
+        grna_mse = mse_per_feature(
+            grna.run(scenario.X_adv, scenario.V).x_target_hat, scenario.X_target
+        )
+        rg_u, _ = _random_guess_mses(
+            scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+        )
+        return {
+            "esa_mse": float(esa_mse),
+            "grna_mse": float(grna_mse),
+            "rg_uniform_mse": rg_u,
+        }
+    scenario = build_scenario(
+        params["dataset"], "nn", params["fraction"], scale, spec.seed,
+        dropout=params["dropout"],
+    )
+    x_hat = _run_grna(scenario, "nn", scale, spec.seed)
+    rg_u, _ = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    return {
+        "esa_mse": float("nan"),
+        "grna_mse": float(mse_per_feature(x_hat, scenario.X_target)),
+        "rg_uniform_mse": rg_u,
+    }
+
+
+def fig11_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
     *,
     seed: int = 11,
 ) -> ExperimentResult:
-    """Rounding vs ESA/GRNA (panels a-d) and dropout vs GRNA (panels e-f)."""
+    """Average trials into the Fig. 11 table (ESA column NaN for NN rows)."""
     scale = get_scale(scale)
     rows = []
-    rounding_levels = [("round_0.1", 1), ("round_0.001", 3), ("no_round", None)]
-
-    # Panels (a)-(d): rounding on the LR model, bank + drive.
-    for dataset in ("bank", "drive"):
-        for fraction in scale.fractions:
-            for label, digits in rounding_levels:
-                esa_mses, grna_mses, rg_mses = [], [], []
-                for trial_seed in _trial_seeds(seed, scale.n_trials):
-                    wrapper = (
-                        (lambda m, d=digits: RoundedModel(m, d))
-                        if digits is not None
-                        else None
-                    )
-                    scenario = build_scenario(
-                        dataset, "lr", fraction, scale, trial_seed,
-                        model_wrapper=wrapper,
-                    )
-                    inner = (
-                        scenario.model.model if digits is not None else scenario.model
-                    )
-                    esa = EqualitySolvingAttack(inner, scenario.view)
-                    esa_mses.append(
-                        mse_per_feature(
-                            esa.run(scenario.X_adv, scenario.V).x_target_hat,
-                            scenario.X_target,
-                        )
-                    )
-                    grna_rng = spawn_rngs(trial_seed + 1, 1)[0]
-                    grna = GenerativeRegressionNetwork(
-                        inner, scenario.view,
-                        **grna_kwargs_from_scale(scale, grna_rng),
-                    )
-                    grna_mses.append(
-                        mse_per_feature(
-                            grna.run(scenario.X_adv, scenario.V).x_target_hat,
-                            scenario.X_target,
-                        )
-                    )
-                    u, _ = _random_guess_mses(
-                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
-                    )
-                    rg_mses.append(u)
-                rows.append(
-                    (
-                        dataset,
-                        "lr",
-                        label,
-                        int(round(fraction * 100)),
-                        float(np.mean(esa_mses)),
-                        float(np.mean(grna_mses)),
-                        float(np.mean(rg_mses)),
-                    )
-                )
-
-    # Panels (e)-(f): dropout on the NN model, credit + news.
-    for dataset in ("credit", "news"):
-        for fraction in scale.fractions:
-            for label, dropout in (("dropout", 0.25), ("no_dropout", 0.0)):
-                grna_mses, rg_mses = [], []
-                for trial_seed in _trial_seeds(seed, scale.n_trials):
-                    scenario = build_scenario(
-                        dataset, "nn", fraction, scale, trial_seed, dropout=dropout
-                    )
-                    x_hat = _run_grna(scenario, "nn", scale, trial_seed)
-                    grna_mses.append(mse_per_feature(x_hat, scenario.X_target))
-                    u, _ = _random_guess_mses(
-                        scenario.view, scenario.X_adv, scenario.X_target, trial_seed
-                    )
-                    rg_mses.append(u)
-                rows.append(
-                    (
-                        dataset,
-                        "nn",
-                        label,
-                        int(round(fraction * 100)),
-                        float("nan"),
-                        float(np.mean(grna_mses)),
-                        float(np.mean(rg_mses)),
-                    )
-                )
+    for (dataset, model, defense, fraction), payloads in _group_by(
+        units, results, "dataset", "model", "defense", "fraction"
+    ).items():
+        esa = (
+            float(np.mean([p["esa_mse"] for p in payloads]))
+            if model == "lr"
+            else float("nan")
+        )
+        rows.append(
+            (
+                dataset,
+                model,
+                defense,
+                _pct(fraction),
+                esa,
+                float(np.mean([p["grna_mse"] for p in payloads])),
+                float(np.mean([p["rg_uniform_mse"] for p in payloads])),
+            )
+        )
     return ExperimentResult(
         experiment_id="fig11",
         title="Countermeasures: rounding (LR) and dropout (NN)",
@@ -508,3 +859,27 @@ def fig11_defenses(
         rows=rows,
         meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
     )
+
+
+def fig11_defenses(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Rounding vs ESA/GRNA (panels a-d) and dropout vs GRNA (panels e-f)."""
+    scale = get_scale(scale)
+    units = fig11_units(scale, seed=seed)
+    return _run_serial(units, fig11_run_unit, fig11_aggregate, scale, seed=seed)
+
+
+for _spec in (
+    ExperimentSpec("fig5", fig5_units, fig5_run_unit, fig5_aggregate),
+    ExperimentSpec("fig6", fig6_units, fig6_run_unit, fig6_aggregate),
+    ExperimentSpec("fig7", fig7_units, fig7_run_unit, fig7_aggregate),
+    ExperimentSpec("fig8", fig8_units, fig8_run_unit, fig8_aggregate),
+    ExperimentSpec("fig9", fig9_units, fig9_run_unit, fig9_aggregate),
+    ExperimentSpec("fig10", fig10_units, fig10_run_unit, fig10_aggregate),
+    ExperimentSpec("fig11", fig11_units, fig11_run_unit, fig11_aggregate),
+):
+    register_experiment(_spec)
+del _spec

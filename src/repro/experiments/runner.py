@@ -4,20 +4,32 @@ Usage::
 
     python -m repro.experiments fig5 --scale smoke
     python -m repro.experiments all --scale default
+    python -m repro.experiments fig7 --scale smoke --jobs 4 --store-dir out/
+
+``--jobs N`` fans trial units out over N worker processes; ``--store-dir``
+makes runs resumable (completed units are cached on disk and skipped on
+the next run; ``--force`` recomputes them). ``--jobs 1`` without a store
+is the classic serial in-process path; every mode produces identical
+tables for a given scale and seeds.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Callable
 
 from repro.exceptions import ValidationError
 from repro.experiments import figures, tables
+from repro.experiments.batch import run_batch
 from repro.experiments.config import PRESETS
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.store import ResultsStore
 
+#: Every registry entry accepts one positional ``scale`` argument
+#: (a preset name or a :class:`~repro.experiments.config.ScaleConfig`).
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table2": lambda scale: tables.table2_datasets(),
+    "table2": tables.table2_datasets,
     "table3": tables.table3_ablation,
     "fig5": figures.fig5_esa,
     "fig6": figures.fig6_pra,
@@ -29,15 +41,37 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: str = "default") -> ExperimentResult:
-    """Run one experiment by its paper id (``fig5`` ... ``table3``)."""
-    try:
-        runner = EXPERIMENTS[experiment_id]
-    except KeyError:
+def run_experiment(
+    experiment_id: str,
+    scale: str = "default",
+    *,
+    jobs: int = 1,
+    store: "ResultsStore | str | None" = None,
+    force: bool = False,
+    on_progress=None,
+) -> ExperimentResult:
+    """Run one experiment by its paper id (``fig5`` ... ``table3``).
+
+    With the defaults this is the classic serial in-process run; ``jobs``
+    and ``store`` (a directory path or an open
+    :class:`~repro.experiments.store.ResultsStore`) route through the
+    batch engine (see :func:`repro.experiments.batch.run_batch`), which
+    also validates ``jobs``.
+    """
+    if experiment_id not in EXPERIMENTS:
         raise ValidationError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
-        ) from None
-    return runner(scale)
+        )
+    if jobs == 1 and store is None:
+        return EXPERIMENTS[experiment_id](scale)
+    return run_batch(
+        experiment_id,
+        scale,
+        jobs=jobs,
+        store=store,
+        force=force,
+        on_progress=on_progress,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,14 +92,45 @@ def main(argv: list[str] | None = None) -> int:
         help="size preset (smoke: seconds, default: minutes, full: paper-scale)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for trial units (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="persist per-unit results here; reruns skip completed units",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute units even when the store already has them",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         help="also save each result as <experiment>.csv in this directory",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # One store instance for the whole invocation so 'all' shares its cache.
+    store = ResultsStore(args.store_dir) if args.store_dir is not None else None
+
+    def progress(line: str) -> None:
+        print(f"# {line}", file=sys.stderr)
+
     for experiment_id in ids:
-        result = run_experiment(experiment_id, args.scale)
+        result = run_experiment(
+            experiment_id,
+            args.scale,
+            jobs=args.jobs,
+            store=store,
+            force=args.force,
+            on_progress=progress,
+        )
         print(result.to_text())
         print()
         if args.output_dir is not None:

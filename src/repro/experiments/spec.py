@@ -1,0 +1,180 @@
+"""Trial-unit decomposition of experiments.
+
+Every figure/table runner used to be one monolithic loop; this module
+defines the split that makes parallelism and caching possible. Each
+experiment is described by an :class:`ExperimentSpec` triple:
+
+``trial_units(scale)``
+    Decompose the experiment into independent :class:`TrialSpec` units
+    (typically one per ``(dataset, fraction, trial_seed)`` cell). Every
+    unit carries its own deterministically derived seed, so units can run
+    in any order — or in different processes — and still reproduce the
+    serial result bit-for-bit.
+
+``run_unit(spec, scale)``
+    Execute one unit and return a JSON-serializable payload dict. This is
+    the function the batch runner fans out across a process pool; it must
+    be a module-level callable (picklable) with no shared state.
+
+``aggregate(scale, units, results)``
+    Fold the per-unit payloads back into the paper's
+    :class:`~repro.experiments.reporting.ExperimentResult` table, in the
+    exact row order of the original serial loop.
+
+The registry (:data:`EXPERIMENT_SPECS`) is populated when
+:mod:`repro.experiments.figures` / :mod:`repro.experiments.tables` are
+imported; :func:`get_experiment_spec` imports them lazily so worker
+processes that only import this module still resolve every experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import ScaleConfig
+from repro.experiments.reporting import ExperimentResult
+from repro.utils.random import check_random_state
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independently runnable unit of an experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference of the owning experiment (``"fig5"`` ...).
+    unit_id:
+        Key unique within the experiment, e.g. ``"bank:40:t0"``.
+    seed:
+        The unit's own trial seed, derived deterministically from the
+        experiment's master seed (see :func:`derive_trial_seeds`) so the
+        unit is self-contained and order-independent.
+    params:
+        Sorted ``(name, value)`` pairs with everything ``run_unit`` needs
+        (dataset, fraction, model kind, ...). Kept as a tuple so specs are
+        hashable and picklable.
+    """
+
+    experiment_id: str
+    unit_id: str
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, experiment_id: str, unit_id: str, seed: int, **params: Any
+    ) -> "TrialSpec":
+        """Build a spec from keyword parameters (canonically sorted)."""
+        return cls(experiment_id, unit_id, int(seed), tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """The unit parameters as a plain dict."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The decomposed form of one experiment (units / run / aggregate)."""
+
+    experiment_id: str
+    trial_units: Callable[[ScaleConfig], list[TrialSpec]]
+    run_unit: Callable[[TrialSpec, ScaleConfig], dict]
+    aggregate: Callable[[ScaleConfig, list[TrialSpec], dict[str, dict]], ExperimentResult]
+
+
+#: Registry of decomposed experiments, keyed by paper id.
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the registry (last registration wins)."""
+    EXPERIMENT_SPECS[spec.experiment_id] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    """Import the modules whose import side-effect fills the registry."""
+    import repro.experiments.figures  # noqa: F401
+    import repro.experiments.tables  # noqa: F401
+
+
+def get_experiment_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a decomposed experiment, importing the runners if needed."""
+    if experiment_id not in EXPERIMENT_SPECS:
+        _ensure_registered()
+    try:
+        return EXPERIMENT_SPECS[experiment_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENT_SPECS)}"
+        ) from None
+
+
+def ensure_unique_unit_ids(units: "list[TrialSpec]") -> "list[TrialSpec]":
+    """Reject decompositions whose unit ids collide.
+
+    Results are keyed by unit id, so any collision — two fractions that
+    round to the same display percent, or a dataset listed twice — would
+    silently merge distinct cells into one mis-weighted row. Fail loudly
+    instead.
+    """
+    seen: dict[str, TrialSpec] = {}
+    for unit in units:
+        other = seen.get(unit.unit_id)
+        if other is not None:
+            raise ValidationError(
+                f"duplicate unit id {unit.unit_id!r} in {unit.experiment_id}: "
+                f"{dict(other.params)} vs {dict(unit.params)}"
+            )
+        seen[unit.unit_id] = unit
+    return units
+
+
+def group_payloads(
+    units: "list[TrialSpec]", results: dict[str, dict], *names: str
+) -> dict[tuple, list[dict]]:
+    """Group unit payloads by the named params, preserving unit order.
+
+    The shared aggregation helper: insertion order of the returned dict is
+    the row order of the original serial loops.
+    """
+    grouped: dict[tuple, list[dict]] = {}
+    for unit in units:
+        params = unit.kwargs
+        grouped.setdefault(tuple(params[n] for n in names), []).append(
+            results[unit.unit_id]
+        )
+    return grouped
+
+
+def derive_trial_seeds(seed: int, n_trials: int) -> list[int]:
+    """Derive one deterministic trial seed per repetition from a master seed.
+
+    This is the seed schedule the original serial loops used, so decomposed
+    runs (serial, parallel, or resumed from a store) reproduce identical
+    tables.
+    """
+    rng = check_random_state(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n_trials)]
+
+
+def config_hash(scale: ScaleConfig, spec: TrialSpec) -> str:
+    """Hash everything that determines a unit's payload except its seed.
+
+    The hash covers the full :class:`ScaleConfig` and the unit parameters,
+    so changing any size knob (epochs, trees, hidden sizes, ...) or any
+    experiment parameter invalidates cached results for that unit.
+    """
+    blob = json.dumps(
+        {"scale": asdict(scale), "params": spec.kwargs},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

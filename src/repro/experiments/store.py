@@ -1,0 +1,151 @@
+"""Persistent, resumable results store for experiment trial units.
+
+Results live as JSON-lines files, one per experiment
+(``<store-dir>/<experiment_id>.jsonl``), each line one
+:class:`RunSummary`. A record is keyed by
+``(experiment_id, scale, unit_id, config_hash)``: the batch runner skips
+any unit whose key is already present, which is what makes interrupted
+runs resumable and repeated runs near-instant. Appending is the only
+write operation — the latest record for a key wins — so a crashed run
+never corrupts earlier results.
+
+Usage::
+
+    store = ResultsStore("/tmp/results")
+    store.put(RunSummary("fig5", "bank:40:t0", "smoke", 123, "deadbeef", {...}))
+    cached = store.get("fig5", "smoke", "bank:40:t0", "deadbeef")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One completed trial unit, as persisted in the store.
+
+    Attributes
+    ----------
+    experiment_id / unit_id / scale / seed / config_hash:
+        The unit's identity (see :func:`repro.experiments.spec.config_hash`
+        for what the hash covers).
+    payload:
+        The JSON-serializable dict returned by the unit's ``run_unit``.
+    elapsed_s:
+        Wall-clock seconds the unit took.
+    created_at:
+        ISO-8601 UTC timestamp of completion.
+    """
+
+    experiment_id: str
+    unit_id: str
+    scale: str
+    seed: int
+    config_hash: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    created_at: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """The store key: (experiment_id, scale, unit_id, config_hash)."""
+        return (self.experiment_id, self.scale, self.unit_id, self.config_hash)
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunSummary":
+        """Parse a JSON line back into a summary (extra keys ignored)."""
+        data = json.loads(line)
+        names = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py3.9 compat
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def utc_now() -> str:
+    """Current UTC time as an ISO-8601 string."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+class ResultsStore:
+    """Append-only JSON-lines store of :class:`RunSummary` records.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one ``<experiment_id>.jsonl`` file per
+        experiment. Created on first use.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._cache: dict[str, dict[tuple, RunSummary]] = {}
+
+    def _path(self, experiment_id: str) -> Path:
+        return self.root / f"{experiment_id}.jsonl"
+
+    def _load(self, experiment_id: str) -> dict[tuple, RunSummary]:
+        """Read (and memoize) every record of one experiment, last wins."""
+        if experiment_id not in self._cache:
+            records: dict[tuple, RunSummary] = {}
+            path = self._path(experiment_id)
+            if path.exists():
+                for line in path.read_text(encoding="utf-8").splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        summary = RunSummary.from_json(line)
+                    except (json.JSONDecodeError, TypeError):
+                        # A killed run can leave a truncated trailing line;
+                        # treat it as a miss so the unit is recomputed.
+                        continue
+                    records[summary.key] = summary
+            self._cache[experiment_id] = records
+        return self._cache[experiment_id]
+
+    def get(
+        self, experiment_id: str, scale: str, unit_id: str, config_hash: str
+    ) -> "RunSummary | None":
+        """Return the stored summary for a unit key, or ``None`` on miss."""
+        return self._load(experiment_id).get(
+            (experiment_id, scale, unit_id, config_hash)
+        )
+
+    def put(self, summary: RunSummary) -> RunSummary:
+        """Append one summary (stamping ``created_at`` if unset)."""
+        if not summary.created_at:
+            summary = RunSummary(**{**asdict(summary), "created_at": utc_now()})
+        with self._path(summary.experiment_id).open("a", encoding="utf-8") as fh:
+            fh.write(summary.to_json() + "\n")
+        self._load(summary.experiment_id)[summary.key] = summary
+        return summary
+
+    def summaries(self, experiment_id: str) -> list[RunSummary]:
+        """All (deduplicated) records of one experiment."""
+        return list(self._load(experiment_id).values())
+
+    def experiments(self) -> list[str]:
+        """Experiment ids that have at least one record on disk."""
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def __iter__(self) -> Iterator[RunSummary]:
+        for experiment_id in self.experiments():
+            yield from self.summaries(experiment_id)
+
+    def __len__(self) -> int:
+        return sum(len(self._load(e)) for e in self.experiments())
+
+    def clear(self, experiment_id: "str | None" = None) -> None:
+        """Drop records for one experiment (or the whole store)."""
+        targets = [experiment_id] if experiment_id else self.experiments()
+        for target in targets:
+            self._path(target).unlink(missing_ok=True)
+            self._cache.pop(target, None)

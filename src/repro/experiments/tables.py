@@ -1,4 +1,11 @@
-"""Runners for the paper's tables (Table II statistics, Table III ablation)."""
+"""Runners for the paper's tables (Table II statistics, Table III ablation).
+
+Like the figures, each table is decomposed into trial units
+(``*_units`` / ``*_run_unit`` / ``*_aggregate``) so the batch runner can
+parallelize and cache them; the public entry points run the same units
+serially. Both runners accept a ``scale`` argument uniformly (Table II
+ignores everything but the signature — its statistics are fixed).
+"""
 
 from __future__ import annotations
 
@@ -9,21 +16,64 @@ from repro.datasets import table2_rows
 from repro.experiments.common import build_scenario, grna_kwargs_from_scale
 from repro.experiments.config import ScaleConfig, get_scale
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import (
+    ExperimentSpec,
+    TrialSpec,
+    derive_trial_seeds,
+    ensure_unique_unit_ids,
+    group_payloads,
+    register_experiment,
+)
 from repro.metrics import mse_per_feature
-from repro.utils.random import check_random_state, spawn_rngs
+from repro.utils.random import spawn_rngs
 
 
-def table2_datasets() -> ExperimentResult:
-    """Table II: dataset statistics."""
+# ----------------------------------------------------------------------
+# Table II — dataset statistics
+# ----------------------------------------------------------------------
+def table2_units(scale: "str | ScaleConfig") -> list[TrialSpec]:
+    """Table II is one deterministic unit (no trials, no randomness)."""
+    get_scale(scale)
+    return [TrialSpec.make("table2", "stats", 0)]
+
+
+def table2_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """Materialize the dataset statistics rows."""
+    return {
+        "rows": [
+            [str(name), int(samples), int(classes), int(features)]
+            for name, samples, classes, features in table2_rows()
+        ]
+    }
+
+
+def table2_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+) -> ExperimentResult:
+    """Wrap the statistics rows into the Table II result."""
+    rows = [tuple(row) for row in results[units[0].unit_id]["rows"]]
     return ExperimentResult(
         experiment_id="table2",
         title="Statistics of datasets",
         columns=["dataset", "samples", "classes", "features"],
-        rows=list(table2_rows()),
+        rows=rows,
         meta={},
     )
 
 
+def table2_datasets(scale: "str | ScaleConfig" = "default") -> ExperimentResult:
+    """Table II: dataset statistics (``scale`` accepted for CLI uniformity)."""
+    scale = get_scale(scale)
+    units = ensure_unique_unit_ids(table2_units(scale))
+    results = {unit.unit_id: table2_run_unit(unit, scale) for unit in units}
+    return table2_aggregate(scale, units, results)
+
+
+# ----------------------------------------------------------------------
+# Table III — GRN component ablation
+# ----------------------------------------------------------------------
 #: The six ablation cases of Table III: which GRN components are enabled.
 ABLATION_CASES = [
     # (case index, input x_adv, input noise, variance constraint, generator)
@@ -35,6 +85,108 @@ ABLATION_CASES = [
 ]
 
 
+def table3_units(
+    scale: "str | ScaleConfig",
+    *,
+    dataset: str = "bank",
+    target_fraction: float = 0.4,
+    seed: int = 3,
+) -> list[TrialSpec]:
+    """One unit per (ablation case, trial); case 6 is the random guess."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    units = []
+    for case, use_adv, use_noise, use_constraint, use_generator in ABLATION_CASES:
+        for t, trial_seed in enumerate(trial_seeds):
+            units.append(
+                TrialSpec.make(
+                    "table3",
+                    f"case{case}:t{t}",
+                    trial_seed,
+                    case=case,
+                    dataset=dataset,
+                    target_fraction=target_fraction,
+                    use_adv=use_adv,
+                    use_noise=use_noise,
+                    use_constraint=use_constraint,
+                    use_generator=use_generator,
+                )
+            )
+    for t, trial_seed in enumerate(trial_seeds):
+        units.append(
+            TrialSpec.make(
+                "table3",
+                f"case6:t{t}",
+                trial_seed,
+                case=6,
+                dataset=dataset,
+                target_fraction=target_fraction,
+            )
+        )
+    return units
+
+
+def table3_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """One ablated GRN trial (or one random-guess trial for case 6)."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "lr", params["target_fraction"], scale, spec.seed
+    )
+    if params["case"] == 6:
+        guess = RandomGuessAttack(
+            scenario.view, distribution="uniform", rng=spec.seed
+        ).run(scenario.X_adv)
+        return {"mse": float(mse_per_feature(guess.x_target_hat, scenario.X_target))}
+    grna_rng = spawn_rngs(spec.seed + 1, 1)[0]
+    use_generator = params["use_generator"]
+    attack = GenerativeRegressionNetwork(
+        scenario.model,
+        scenario.view,
+        use_adv_input=params["use_adv"],
+        use_noise=params["use_noise"],
+        variance_penalty=1.0 if params["use_constraint"] else 0.0,
+        use_generator=use_generator,
+        # Case 4 (no generator) is the paper's *naive regression*:
+        # unbounded free variables, no output squashing.
+        output_activation="sigmoid" if use_generator else "linear",
+        clip_to_unit=False if not use_generator else True,
+        **grna_kwargs_from_scale(scale, grna_rng),
+    )
+    result = attack.run(scenario.X_adv, scenario.V)
+    return {"mse": float(mse_per_feature(result.x_target_hat, scenario.X_target))}
+
+
+def table3_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Average trials per case into the Table III rows (cases 1-6 in order)."""
+    scale = get_scale(scale)
+    first = units[0].kwargs
+    dataset, target_fraction = first["dataset"], first["target_fraction"]
+    flags = {
+        unit.kwargs["case"]: tuple(
+            unit.kwargs.get(name, False)
+            for name in ("use_adv", "use_noise", "use_constraint", "use_generator")
+        )
+        for unit in units
+    }
+    rows = [
+        (case, *flags[case], float(np.mean([p["mse"] for p in payloads])))
+        for (case,), payloads in group_payloads(units, results, "case").items()
+    ]
+    return ExperimentResult(
+        experiment_id="table3",
+        title=f"GRN ablation on {dataset} (LR, d_target={int(target_fraction*100)}%)",
+        columns=["case", "input_xadv", "input_noise", "constraint", "generator", "mse"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
 def table3_ablation(
     scale: "str | ScaleConfig" = "default",
     *,
@@ -44,49 +196,12 @@ def table3_ablation(
 ) -> ExperimentResult:
     """Table III: GRN component ablation (LR model, bank, d_target = 40%)."""
     scale = get_scale(scale)
-    trial_seeds = [
-        int(s)
-        for s in check_random_state(seed).integers(0, 2**31 - 1, size=scale.n_trials)
-    ]
-    rows = []
-    for case, use_adv, use_noise, use_constraint, use_generator in ABLATION_CASES:
-        mses = []
-        for trial_seed in trial_seeds:
-            scenario = build_scenario(dataset, "lr", target_fraction, scale, trial_seed)
-            grna_rng = spawn_rngs(trial_seed + 1, 1)[0]
-            attack = GenerativeRegressionNetwork(
-                scenario.model,
-                scenario.view,
-                use_adv_input=use_adv,
-                use_noise=use_noise,
-                variance_penalty=1.0 if use_constraint else 0.0,
-                use_generator=use_generator,
-                # Case 4 (no generator) is the paper's *naive regression*:
-                # unbounded free variables, no output squashing.
-                output_activation="sigmoid" if use_generator else "linear",
-                clip_to_unit=False if not use_generator else True,
-                **grna_kwargs_from_scale(scale, grna_rng),
-            )
-            result = attack.run(scenario.X_adv, scenario.V)
-            mses.append(mse_per_feature(result.x_target_hat, scenario.X_target))
-        rows.append(
-            (case, use_adv, use_noise, use_constraint, use_generator, float(np.mean(mses)))
-        )
-
-    # Case 6: random guess.
-    rg_mses = []
-    for trial_seed in trial_seeds:
-        scenario = build_scenario(dataset, "lr", target_fraction, scale, trial_seed)
-        guess = RandomGuessAttack(
-            scenario.view, distribution="uniform", rng=trial_seed
-        ).run(scenario.X_adv)
-        rg_mses.append(mse_per_feature(guess.x_target_hat, scenario.X_target))
-    rows.append((6, False, False, False, False, float(np.mean(rg_mses))))
-
-    return ExperimentResult(
-        experiment_id="table3",
-        title=f"GRN ablation on {dataset} (LR, d_target={int(target_fraction*100)}%)",
-        columns=["case", "input_xadv", "input_noise", "constraint", "generator", "mse"],
-        rows=rows,
-        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    units = ensure_unique_unit_ids(
+        table3_units(scale, dataset=dataset, target_fraction=target_fraction, seed=seed)
     )
+    results = {unit.unit_id: table3_run_unit(unit, scale) for unit in units}
+    return table3_aggregate(scale, units, results, seed=seed)
+
+
+register_experiment(ExperimentSpec("table2", table2_units, table2_run_unit, table2_aggregate))
+register_experiment(ExperimentSpec("table3", table3_units, table3_run_unit, table3_aggregate))

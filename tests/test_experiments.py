@@ -179,9 +179,39 @@ class TestRunners:
             "fig10", "fig11",
         }
 
+    def test_registry_entries_accept_scale_uniformly(self):
+        """Regression: table2 used to be a lambda that swallowed ``scale``.
+
+        Every registry entry must take one positional scale argument (name
+        or ScaleConfig), so the batch engine and CLI can treat them alike.
+        """
+        import inspect
+
+        for experiment_id, runner in EXPERIMENTS.items():
+            signature = inspect.signature(runner)
+            signature.bind("smoke")  # raises TypeError if scale is rejected
+            parameter = next(iter(signature.parameters.values()))
+            assert parameter.name == "scale", experiment_id
+
+    def test_registry_matches_decomposed_specs(self):
+        """The classic registry and the trial-unit registry must agree."""
+        from repro.experiments import EXPERIMENT_SPECS
+        from repro.experiments.spec import _ensure_registered
+
+        _ensure_registered()
+        assert set(EXPERIMENTS) == set(EXPERIMENT_SPECS)
+
     def test_table2(self):
         result = table2_datasets()
         assert len(result.rows) == 6
+
+    def test_table2_accepts_scale(self):
+        assert table2_datasets("smoke").rows == table2_datasets(TINY).rows
+        assert run_experiment("table2", "smoke").rows == table2_datasets().rows
+
+    def test_run_experiment_rejects_bad_jobs(self):
+        with pytest.raises(ValidationError):
+            run_experiment("table2", jobs=0)
 
     def test_unknown_experiment(self):
         with pytest.raises(ValidationError):
