@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke docs-check
+.PHONY: test smoke docs-check examples-smoke
 
 ## test: run the full test suite (tier-1 gate)
 test:
@@ -11,13 +11,26 @@ test:
 smoke:
 	$(PY) -m repro.experiments all --scale smoke --jobs 2 --store-dir .cache/results
 
+## examples-smoke: execute every example script at tiny scale
+examples-smoke:
+	set -e; for script in examples/*.py; do \
+	    echo "== $$script"; \
+	    $(PY) $$script --smoke; \
+	done
+
 ## docs-check: docs exist, stay in sync with the CLI, and the API self-describes
 docs-check:
 	test -f README.md
 	test -f docs/architecture.md
 	grep -q -- '--jobs' README.md
 	grep -q -- '--store-dir' README.md
+	grep -q 'run_scenario' README.md
+	grep -q 'repro-experiments' README.md
 	grep -q 'trial_units' docs/architecture.md
+	grep -q 'run_scenario' docs/architecture.md
+	grep -q 'DefenseStack' docs/architecture.md
 	$(PY) -m repro.experiments --help > /dev/null
 	$(PY) -c "import repro.experiments as e; assert e.__doc__ and 'run_batch' in e.__doc__; \
 	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"
+	$(PY) -c "import repro.api as a; assert a.__doc__ and 'run_scenario' in a.__doc__; \
+	    assert all(getattr(a, n).__doc__ for n in ('Registry', 'DefenseStack', 'ScenarioAttack', 'ScenarioConfig', 'ScenarioReport', 'run_scenario'))"

@@ -6,13 +6,23 @@ predictions for new applicants. The bank (active party) then mounts the
 GRNA attack to reconstruct the FinTech's private columns — deposit-like
 and shopping-behaviour features — from nothing but prediction outputs.
 
+Because the deployment here is custom (PSI-aligned rows rather than a
+registry dataset split), this example drives the scenario API one level
+below the facade: it hand-builds a :class:`~repro.api.VFLScenario` and
+runs the registry attack through the unified ``prepare``/``run``
+protocol — the same protocol ``run_scenario`` uses internally.
+
 Run:
-    python examples/bank_credit_scoring.py
+    python examples/bank_credit_scoring.py            # default scale
+    python examples/bank_credit_scoring.py --smoke    # tiny scale
 """
+
+import sys
 
 import numpy as np
 
-from repro.attacks import GenerativeRegressionNetwork, RandomGuessAttack
+from repro.api import ATTACKS, VFLScenario
+from repro.config import ScaleConfig
 from repro.datasets import load_dataset
 from repro.federated import (
     FeaturePartition,
@@ -24,17 +34,29 @@ from repro.metrics.correlation import correlation_report
 from repro.models import MLPClassifier
 from repro.nn.data import train_test_split
 
+SMOKE = "--smoke" in sys.argv
+
+SCALE = ScaleConfig(
+    name="credit-smoke" if SMOKE else "credit",
+    n_samples=600 if SMOKE else 2400,
+    n_predictions=160 if SMOKE else 800,
+    n_trials=1,
+    grna_hidden=(32,) if SMOKE else (256, 128, 64),
+    grna_epochs=5 if SMOKE else 40,
+)
+
 
 def main() -> None:
     # ------------------------------------------------------------------
     # 1. Private set intersection: both organizations hold overlapping
     #    but distinct customer bases and align on the common ids.
     # ------------------------------------------------------------------
-    ds = load_dataset("credit", n_samples=2400)
+    ds = load_dataset("credit", n_samples=SCALE.n_samples)
     rng = np.random.default_rng(0)
+    overlap = int(ds.n_samples * 0.92)
     all_ids = np.arange(10_000, 10_000 + ds.n_samples)
-    bank_rows = np.sort(rng.choice(ds.n_samples, size=2200, replace=False))
-    fintech_rows = np.sort(rng.choice(ds.n_samples, size=2200, replace=False))
+    bank_rows = np.sort(rng.choice(ds.n_samples, size=overlap, replace=False))
+    fintech_rows = np.sort(rng.choice(ds.n_samples, size=overlap, replace=False))
 
     partition = FeaturePartition.adversary_target(ds.n_features, 0.35, rng=1)
     view = partition.adversary_view()
@@ -58,31 +80,44 @@ def main() -> None:
     # 2. Joint training and prediction serving.
     # ------------------------------------------------------------------
     X_train, X_pool, y_train, y_pool = train_test_split(joint, labels, rng=2)
-    model = MLPClassifier(hidden_sizes=(64, 32), epochs=12, rng=0)
+    model = MLPClassifier(
+        hidden_sizes=(16,) if SMOKE else (64, 32),
+        epochs=3 if SMOKE else 12,
+        rng=0,
+    )
     vfl = train_vertical_model(model, X_train, y_train, X_pool, y_pool, partition)
     print(f"credit model accuracy: {vfl.model.score(X_train, y_train):.3f} (train), "
           f"{vfl.model.score(X_pool, y_pool):.3f} (prediction pool)")
 
     # The bank accumulates prediction outputs over time (paper §V: "in a
     # week or a month, as long as the vertical FL model is unchanged").
-    accumulated = np.arange(min(800, vfl.n_samples))
+    accumulated = np.arange(min(SCALE.n_predictions, vfl.n_samples))
     V = vfl.predict(accumulated)
     print(f"bank accumulated {V.shape[0]} prediction outputs\n")
 
     # ------------------------------------------------------------------
-    # 3. The attack: reconstruct the FinTech's columns.
+    # 3. The attack: reconstruct the FinTech's columns through the
+    #    unified registry protocol.
     # ------------------------------------------------------------------
     X_adv = vfl.adversary_features()[accumulated]
-    attack = GenerativeRegressionNetwork(
-        vfl.release_model(), view, hidden_sizes=(256, 128, 64), epochs=40, rng=3,
-    )
-    result = attack.run(X_adv, V)
     truth = vfl.ground_truth_target()[accumulated]
+    scenario = VFLScenario(
+        dataset=ds,
+        model=vfl.model,
+        vfl=vfl,
+        view=view,
+        X_adv=X_adv,
+        X_target=truth,
+        V=V,
+        X_pred_full=view.assemble(X_adv, truth),
+        y_pred=y_pool[accumulated],
+    )
+    grna = ATTACKS.create("grna").prepare(scenario, scale=SCALE, seed=3)
+    result = grna.run(X_adv, V)
+    rg = ATTACKS.create("random_uniform").prepare(scenario, seed=0).run(X_adv, V)
 
     grna_mse = mse_per_feature(result.x_target_hat, truth)
-    rg_mse = mse_per_feature(
-        RandomGuessAttack(view, rng=0).run(X_adv).x_target_hat, truth
-    )
+    rg_mse = mse_per_feature(rg.x_target_hat, truth)
     print("[attack outcome]")
     print(f"  GRNA MSE per feature : {grna_mse:.4f}")
     print(f"  random-guess baseline: {rg_mse:.4f}")

@@ -1,92 +1,118 @@
 """Evaluate the §VII countermeasures against ESA and GRNA.
 
 Sweeps the rounding defense (b = 1..4 digits) against both attacks on a
-multi-class LR deployment, then compares dropout-regularized NN training
-against the undefended model, reproducing the qualitative conclusions of
-Fig. 11: rounding kills ESA but not GRNA; dropout only dents GRNA.
+multi-class LR deployment, compares additive noise, shows that output
+defenses *compose* (rounding + noise in one ``DefenseStack``), and ends
+with dropout-regularized NN training — reproducing the qualitative
+conclusions of Fig. 11: rounding kills ESA but not GRNA; dropout only
+dents GRNA.
+
+Each defended deployment is one ``run_scenario`` call with a
+``defenses=[...]`` stack; the attacks automatically target the released
+plaintext weights while the served confidence scores pass through the
+defense chain.
 
 Run:
-    python examples/defense_evaluation.py
+    python examples/defense_evaluation.py            # default scale
+    python examples/defense_evaluation.py --smoke    # tiny scale
 """
 
-import numpy as np
+import sys
 
-from repro.attacks import (
-    EqualitySolvingAttack,
-    GenerativeRegressionNetwork,
-    RandomGuessAttack,
+from repro.api import DefenseStack, ScenarioConfig, build_scenario, run_scenario
+from repro.config import ScaleConfig
+
+SMOKE = "--smoke" in sys.argv
+
+SCALE = ScaleConfig(
+    name="defense-smoke" if SMOKE else "defense",
+    n_samples=400 if SMOKE else 2000,
+    n_predictions=120 if SMOKE else 600,
+    n_trials=1,
+    fractions=(0.3,),
+    lr_epochs=20 if SMOKE else 100,
+    mlp_hidden=(16,) if SMOKE else (64, 32),
+    mlp_epochs=3 if SMOKE else 12,
+    grna_hidden=(32,) if SMOKE else (256, 128, 64),
+    grna_epochs=5 if SMOKE else 40,
 )
-from repro.datasets import load_dataset
-from repro.defenses import NoisyModel, RoundedModel
-from repro.federated import FeaturePartition, train_vertical_model
-from repro.metrics import mse_per_feature
-from repro.models import LogisticRegression, MLPClassifier
-from repro.nn.data import train_test_split
 
-GRNA_KW = dict(hidden_sizes=(256, 128, 64), epochs=40)
+
+def attack_pair(defenses) -> tuple[float, float, float]:
+    """(ESA MSE, GRNA MSE, random-guess MSE) under one defense stack.
+
+    Both attacks score the same defended deployment, so it is built once
+    and passed to each ``run_scenario`` call as a prebuilt scenario.
+    """
+    stack = DefenseStack.from_specs(defenses)
+    shared = build_scenario(
+        "drive", "lr", 0.3, SCALE, 0,
+        defense_stack=stack if len(stack) else None,
+    )
+    esa = run_scenario(
+        ScenarioConfig(
+            dataset="drive", model="lr", attack="esa", defenses=defenses,
+            target_fraction=0.3, scale=SCALE, seed=0, baselines=("uniform",),
+        ),
+        scenario=shared,
+    )
+    grna = run_scenario(
+        ScenarioConfig(
+            dataset="drive", model="lr", attack="grna", defenses=defenses,
+            target_fraction=0.3, scale=SCALE, seed=0,
+        ),
+        scenario=shared,
+    )
+    return esa.metrics["mse"], grna.metrics["mse"], esa.metrics["rg_uniform_mse"]
 
 
 def main() -> None:
-    ds = load_dataset("drive", n_samples=2000)
-    X_train, X_pool, y_train, y_pool = train_test_split(ds.X, ds.y, rng=0)
-    partition = FeaturePartition.adversary_target(ds.n_features, 0.3, rng=0)
-    view = partition.adversary_view()
-
     # ------------------------------------------------------------------
     # Rounding vs ESA and GRNA (LR model).
     # ------------------------------------------------------------------
-    lr_model = LogisticRegression(epochs=100, lr=1.0, rng=0)
-    vfl = train_vertical_model(lr_model, X_train, y_train, X_pool, y_pool, partition)
-    X_adv = vfl.adversary_features()[:600]
-    truth = vfl.ground_truth_target()[:600]
-    rg_mse = mse_per_feature(
-        RandomGuessAttack(view, rng=0).run(X_adv).x_target_hat, truth
-    )
-
+    _, _, rg_mse = attack_pair(())
     print("[rounding defense / LR model]")
-    print(f"  {'defense':>12}  {'ESA mse':>9}  {'GRNA mse':>9}   (random guess: {rg_mse:.4f})")
-    for label, digits in (("none", None), ("b=4", 4), ("b=3", 3), ("b=2", 2), ("b=1", 1)):
-        served = lr_model if digits is None else RoundedModel(lr_model, digits)
-        vfl.model = served
-        V = vfl.predict(np.arange(600))
-
-        esa = EqualitySolvingAttack(lr_model, view)
-        esa_mse = mse_per_feature(esa.run(X_adv, V).x_target_hat, truth)
-
-        grna = GenerativeRegressionNetwork(lr_model, view, rng=1, **GRNA_KW)
-        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
-        print(f"  {label:>12}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
-    vfl.model = lr_model
+    print(f"  {'defense':>16}  {'ESA mse':>9}  {'GRNA mse':>9}   (random guess: {rg_mse:.4f})")
+    for label, defenses in [
+        ("none", ()),
+        ("b=4", (("rounding", {"digits": 4}),)),
+        ("b=3", (("rounding", {"digits": 3}),)),
+        ("b=2", (("rounding", {"digits": 2}),)),
+        ("b=1", (("rounding", {"digits": 1}),)),
+    ]:
+        esa_mse, grna_mse, _ = attack_pair(defenses)
+        print(f"  {label:>16}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
 
     # ------------------------------------------------------------------
-    # Additive noise as an alternative perturbation family.
+    # Additive noise, and the rounding+noise chain (§VII composition).
     # ------------------------------------------------------------------
     print("\n[noise defense / LR model]")
-    print(f"  {'scale':>12}  {'ESA mse':>9}  {'GRNA mse':>9}")
-    for scale in (0.001, 0.01, 0.05):
-        vfl.model = NoisyModel(lr_model, scale, rng=2)
-        V = vfl.predict(np.arange(600))
-        esa_mse = mse_per_feature(
-            EqualitySolvingAttack(lr_model, view).run(X_adv, V).x_target_hat, truth
-        )
-        grna = GenerativeRegressionNetwork(lr_model, view, rng=1, **GRNA_KW)
-        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
-        print(f"  {scale:>12}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
-    vfl.model = lr_model
+    print(f"  {'defense':>16}  {'ESA mse':>9}  {'GRNA mse':>9}")
+    for label, defenses in [
+        ("noise 0.001", (("noise", {"scale": 0.001}),)),
+        ("noise 0.01", (("noise", {"scale": 0.01}),)),
+        ("noise 0.05", (("noise", {"scale": 0.05}),)),
+        ("b=2 + noise 0.01", (("rounding", {"digits": 2}), ("noise", {"scale": 0.01}))),
+    ]:
+        esa_mse, grna_mse, _ = attack_pair(defenses)
+        print(f"  {label:>16}  {esa_mse:>9.4f}  {grna_mse:>9.4f}")
 
     # ------------------------------------------------------------------
     # Dropout vs GRNA (NN model).
     # ------------------------------------------------------------------
     print("\n[dropout defense / NN model]")
-    print(f"  {'dropout':>12}  {'model acc':>9}  {'GRNA mse':>9}")
+    print(f"  {'dropout':>16}  {'model acc':>9}  {'GRNA mse':>9}")
     for dropout in (0.0, 0.25, 0.5):
-        nn = MLPClassifier(hidden_sizes=(64, 32), epochs=12, dropout=dropout, rng=0)
-        vfl_nn = train_vertical_model(nn, X_train, y_train, X_pool, y_pool, partition)
-        V = vfl_nn.predict(np.arange(600))
-        grna = GenerativeRegressionNetwork(nn, view, rng=1, **GRNA_KW)
-        grna_mse = mse_per_feature(grna.run(X_adv, V).x_target_hat, truth)
-        acc = nn.score(X_pool, y_pool)
-        print(f"  {dropout:>12}  {acc:>9.3f}  {grna_mse:>9.4f}")
+        report = run_scenario(
+            ScenarioConfig(
+                dataset="drive", model="nn", attack="grna",
+                model_params={"dropout": dropout},
+                target_fraction=0.3, scale=SCALE, seed=0,
+            )
+        )
+        scenario = report.scenario
+        acc = scenario.model.score(scenario.X_pred_full, scenario.y_pred)
+        print(f"  {dropout:>16}  {acc:>9.3f}  {report.metrics['mse']:>9.4f}")
 
     print("\nconclusions (paper Fig. 11): rounding to one digit breaks ESA but")
     print("leaves GRNA nearly intact; dropout costs model accuracy for only a")

@@ -6,106 +6,93 @@ then attacks the fintech's feature values using nothing but the released
 model, its own features, and the confidence scores the prediction protocol
 reveals.
 
+Every attack is one ``run_scenario`` call: pick a dataset, a model, an
+attack, and a target fraction from the registries, and the facade builds
+the deployment, accumulates predictions, runs the attack, and scores it.
+
 Run:
-    python examples/quickstart.py
+    python examples/quickstart.py            # default scale (~a minute)
+    python examples/quickstart.py --smoke    # tiny scale (~seconds)
 """
 
-import numpy as np
+import sys
 
-from repro.attacks import (
-    EqualitySolvingAttack,
-    GenerativeRegressionNetwork,
-    PathRestrictionAttack,
-    RandomGuessAttack,
-    random_path,
+from repro.api import ATTACKS, DATASETS, MODELS, ScenarioConfig, run_scenario
+from repro.config import ScaleConfig
+
+SMOKE = "--smoke" in sys.argv
+
+SCALE = ScaleConfig(
+    name="quickstart-smoke" if SMOKE else "quickstart",
+    n_samples=400 if SMOKE else 2000,
+    n_predictions=120 if SMOKE else 600,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=10 if SMOKE else 40,
+    mlp_hidden=(16,) if SMOKE else (64, 32),
+    mlp_epochs=3 if SMOKE else 10,
+    grna_hidden=(32,) if SMOKE else (256, 128, 64),
+    grna_epochs=5 if SMOKE else 40,
 )
-from repro.datasets import load_dataset
-from repro.federated import FeaturePartition, train_vertical_model
-from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr
-from repro.models import (
-    DecisionTreeClassifier,
-    LogisticRegression,
-    MLPClassifier,
-)
-from repro.nn.data import train_test_split
 
 
 def main() -> None:
-    # ------------------------------------------------------------------
-    # Setup: dataset, vertical split, train/prediction pools.
-    # ------------------------------------------------------------------
-    ds = load_dataset("bank", n_samples=2000)
-    print(f"dataset: {ds.spec.name} ({ds.n_samples} rows, {ds.n_features} features, "
-          f"{ds.n_classes} classes)")
-
-    X_train, X_pool, y_train, y_pool = train_test_split(ds.X, ds.y, rng=0)
-    partition = FeaturePartition.adversary_target(ds.n_features, 0.4, rng=0)
-    view = partition.adversary_view()
-    print(f"vertical split: bank holds {view.d_adv} features, "
-          f"fintech holds {view.d_target} (the attack target)\n")
+    print(f"registries: attacks={ATTACKS.names()}")
+    print(f"            models={MODELS.names()}")
+    print(f"            datasets={DATASETS.names()}\n")
 
     # ------------------------------------------------------------------
     # Attack 1 — ESA on logistic regression (single prediction each).
     # ------------------------------------------------------------------
-    vfl = train_vertical_model(
-        LogisticRegression(epochs=40, rng=0),
-        X_train, y_train, X_pool, y_pool, partition,
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="lr", attack="esa",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("uniform",),
+        )
     )
-    attack = EqualitySolvingAttack(vfl.release_model(), view)
-    result = attack.run(vfl.adversary_features(), vfl.predict_all())
-    truth = vfl.ground_truth_target()
-    rg = RandomGuessAttack(view, rng=0).run(vfl.adversary_features())
+    view = report.scenario.view
+    print(f"vertical split: bank holds {view.d_adv} features, "
+          f"fintech holds {view.d_target} (the attack target)\n")
     print("[ESA / logistic regression]")
-    print(f"  exact solvable : {attack.is_exact} (needs d_target <= c-1)")
-    print(f"  ESA MSE        : {mse_per_feature(result.x_target_hat, truth):.4f}")
-    print(f"  random-guess   : {mse_per_feature(rg.x_target_hat, truth):.4f}\n")
+    print(f"  exact solvable : {report.result.info['is_exact']} (needs d_target <= c-1)")
+    print(f"  ESA MSE        : {report.metrics['mse']:.4f}")
+    print(f"  random-guess   : {report.metrics['rg_uniform_mse']:.4f}\n")
 
     # ------------------------------------------------------------------
     # Attack 2 — PRA on a decision tree (single prediction each).
     # ------------------------------------------------------------------
-    vfl = train_vertical_model(
-        DecisionTreeClassifier(max_depth=5, rng=0),
-        X_train, y_train, X_pool, y_pool, partition,
-    )
-    structure = vfl.release_model().tree_structure()
-    pra = PathRestrictionAttack(structure, view)
-    X_adv = vfl.adversary_features()
-    labels = np.argmax(vfl.predict_all(), axis=1)
-    rng = np.random.default_rng(0)
-    counts, rg_counts = [], []
-    for i in range(300):
-        res = pra.run(X_adv[i], int(labels[i]), rng=rng)
-        counts.append(path_cbr(structure, res.selected_path, X_pool[i], view.target_indices))
-        rg_counts.append(
-            path_cbr(structure, random_path(structure, rng), X_pool[i], view.target_indices)
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="dt", attack="pra",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("path",),
         )
+    )
+    info = report.result.info
     print("[PRA / decision tree]")
-    print(f"  tree paths     : {structure.n_prediction_paths()} total")
-    print(f"  PRA CBR        : {aggregate_cbr(counts):.3f}")
-    print(f"  random-path CBR: {aggregate_cbr(rg_counts):.3f}")
-    example = pra.run(X_adv[0], int(labels[0]), rng=rng)
-    intervals = pra.infer_intervals(example.selected_path)
-    print(f"  sample leakage : restricted {example.n_paths_total} -> "
-          f"{example.n_paths_restricted} paths; inferred intervals "
+    print(f"  tree paths     : {info['n_paths_total']} total")
+    print(f"  PRA CBR        : {report.metrics['pra_cbr']:.3f}")
+    print(f"  random-path CBR: {report.metrics['rg_path_cbr']:.3f}")
+    intervals = info["intervals"][0]
+    print(f"  sample leakage : restricted {info['n_paths_total']} -> "
+          f"{info['n_paths_restricted'][0]} paths; inferred intervals "
           f"{ {k: (round(a, 2), round(b, 2)) for k, (a, b) in intervals.items()} }\n")
 
     # ------------------------------------------------------------------
     # Attack 3 — GRNA on a neural network (accumulated predictions).
     # ------------------------------------------------------------------
-    vfl = train_vertical_model(
-        MLPClassifier(hidden_sizes=(64, 32), epochs=10, rng=0),
-        X_train, y_train, X_pool, y_pool, partition,
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="nn", attack="grna",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("uniform",),
+        )
     )
-    grna = GenerativeRegressionNetwork(
-        vfl.release_model(), view, hidden_sizes=(256, 128, 64), epochs=40, rng=0,
-    )
-    result = grna.run(vfl.adversary_features(), vfl.predict_all())
-    truth = vfl.ground_truth_target()
     print("[GRNA / neural network]")
-    print(f"  GRNA MSE       : {mse_per_feature(result.x_target_hat, truth):.4f}")
-    print(f"  random-guess   : "
-          f"{mse_per_feature(RandomGuessAttack(view, rng=0).run(X_adv).x_target_hat, truth):.4f}")
-    print(f"  final loss     : {result.info['final_loss']:.5f}")
+    print(f"  GRNA MSE       : {report.metrics['mse']:.4f}")
+    print(f"  random-guess   : {report.metrics['rg_uniform_mse']:.4f}")
+    print(f"  final loss     : {report.result.info['final_loss']:.5f}")
 
 
 if __name__ == "__main__":

@@ -5,116 +5,129 @@ random forest in vertical FL: it simulates the Path Restriction Attack and
 the GRNA-on-RF attack against its own columns and reports how many paths
 survive restriction, which value intervals an adversary could pin down,
 and the branch-recovery rate — then shows the pre-collaboration screening
-and post-processing verification countermeasures in action.
+and post-processing verification countermeasures in action, composed
+through the scenario API's defense registry.
 
 Run:
-    python examples/tree_leakage_audit.py
+    python examples/tree_leakage_audit.py            # default scale
+    python examples/tree_leakage_audit.py --smoke    # tiny scale
 """
+
+import sys
 
 import numpy as np
 
-from repro.attacks import PathRestrictionAttack, attack_random_forest
-from repro.datasets import load_dataset
-from repro.defenses import LeakageVerifier, screen_collaboration
-from repro.federated import FeaturePartition
-from repro.metrics import aggregate_cbr, reconstruction_cbr
-from repro.models import (
-    DecisionTreeClassifier,
-    RandomForestClassifier,
-    RandomForestDistiller,
+from repro.api import DEFENSES, ScenarioConfig, run_scenario
+from repro.config import ScaleConfig
+from repro.exceptions import ScenarioError
+
+SMOKE = "--smoke" in sys.argv
+
+SCALE = ScaleConfig(
+    name="audit-smoke" if SMOKE else "audit",
+    n_samples=400 if SMOKE else 1500,
+    n_predictions=120 if SMOKE else 500,
+    n_trials=1,
+    dt_depth=5,
+    rf_trees=8 if SMOKE else 25,
+    rf_depth=3,
+    grna_hidden=(32,) if SMOKE else (256, 128, 64),
+    grna_epochs=5 if SMOKE else 40,
+    distiller_hidden=(64,) if SMOKE else (512, 128),
+    distiller_dummy=500 if SMOKE else 4000,
+    distiller_epochs=3 if SMOKE else 10,
 )
 
 
 def main() -> None:
-    ds = load_dataset("bank", n_samples=1500)
-    partition = FeaturePartition.adversary_target(ds.n_features, 0.4, rng=0)
-    view = partition.adversary_view()
-    X_adv_all, X_target_all = view.split(ds.X)
-    print(f"auditing: {view.d_target} private columns against an adversary "
-          f"holding {view.d_adv}\n")
-
     # ------------------------------------------------------------------
     # 1. Decision tree: path restriction exposure.
     # ------------------------------------------------------------------
-    tree = DecisionTreeClassifier(max_depth=5, rng=0).fit(ds.X, ds.y)
-    structure = tree.tree_structure()
-    attack = PathRestrictionAttack(structure, view)
-    labels = tree.predict(ds.X)
-
-    rng = np.random.default_rng(1)
-    survivors, pinned = [], 0
-    for i in range(500):
-        result = attack.run(X_adv_all[i], int(labels[i]), rng=rng)
-        survivors.append(result.n_paths_restricted)
-        if result.n_paths_restricted == 1:
-            pinned += 1
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="dt", attack="pra",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("path",),
+        )
+    )
+    view = report.scenario.view
+    info = report.result.info
+    survivors = info["n_paths_restricted"]
+    pinned = sum(1 for n in survivors if n == 1)
+    print(f"auditing: {view.d_target} private columns against an adversary "
+          f"holding {view.d_adv}\n")
     print("[decision tree / path restriction]")
-    print(f"  tree has {structure.n_prediction_paths()} root-to-leaf paths")
+    print(f"  tree has {info['n_paths_total']} root-to-leaf paths")
     print(f"  after restriction: median {int(np.median(survivors))} paths survive")
-    print(f"  fully pinned predictions: {pinned / 500:.1%} "
+    print(f"  fully pinned predictions: {pinned / len(survivors):.1%} "
           f"(adversary identifies the exact path)")
+    print(f"  PRA branch recovery: {report.metrics['pra_cbr']:.3f} vs "
+          f"{report.metrics['rg_path_cbr']:.3f} for a random path")
 
-    example = attack.run(X_adv_all[0], int(labels[0]), rng=rng)
-    intervals = attack.infer_intervals(example.selected_path)
-    if intervals:
-        feature, (low, high) = next(iter(intervals.items()))
+    example = next((iv for iv in info["intervals"] if iv), None)
+    if example:
+        feature, (low, high) = next(iter(example.items()))
         print(f"  example leakage: private feature {feature} is in "
               f"({low:.2f}, {high:.2f}) — interval width {high - low:.2f}\n")
     else:
-        print("  example leakage: selected path tests no private feature\n")
+        print("  example leakage: no selected path tests a private feature\n")
 
     # ------------------------------------------------------------------
     # 2. Random forest: GRNA branch recovery.
     # ------------------------------------------------------------------
-    forest = RandomForestClassifier(n_trees=25, max_depth=3, rng=0).fit(ds.X, ds.y)
-    n_attack = 300
-    V = forest.predict_proba(ds.X[:n_attack])
-    distiller = RandomForestDistiller(
-        hidden_sizes=(512, 128), n_dummy=4000, epochs=10, rng=2
-    )
-    result, surrogate = attack_random_forest(
-        forest, view, X_adv_all[:n_attack], V,
-        distiller=distiller,
-        grna_kwargs=dict(hidden_sizes=(256, 128, 64), epochs=40),
-        rng=3,
-    )
-    full_hat = view.assemble(X_adv_all[:n_attack], result.x_target_hat)
-    counts = []
-    for i in range(n_attack):
-        for tree_structure in forest.tree_structures():
-            counts.append(
-                reconstruction_cbr(
-                    tree_structure, ds.X[i], full_hat[i], view.target_indices
-                )
-            )
-    print("[random forest / GRNA]")
-    print(f"  surrogate fidelity : {surrogate.fidelity(ds.X[:n_attack]):.3f}")
-    print(f"  branch recovery    : {aggregate_cbr(counts):.3f} "
-          f"(0.5 = coin flip)\n")
-
-    # ------------------------------------------------------------------
-    # 3. Countermeasures the passive party can demand.
-    # ------------------------------------------------------------------
-    screening = screen_collaboration(
-        X_adv_all, X_target_all, ds.n_classes, correlation_threshold=0.45
-    )
-    print("[pre-collaboration screening]")
-    print(f"  ESA exact-solve risk : {screening.esa_exact_risk}")
-    print(f"  feature exposure     : {np.round(screening.feature_exposure, 3)}")
-    print(f"  columns to withhold  : {screening.flagged_features.tolist()}\n")
-
-    verifier = LeakageVerifier(view)
-    blocked = 0
-    for i in range(200):
-        decision = verifier.verify_tree_output(
-            structure, X_adv_all[i], int(labels[i]), min_candidate_paths=3
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="rf", attack="grna",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("uniform",), compute_cbr=True,
         )
-        if not decision.release:
-            blocked += 1
+    )
+    print("[random forest / GRNA]")
+    print(f"  reconstruction MSE : {report.metrics['mse']:.4f} "
+          f"(random guess {report.metrics['rg_uniform_mse']:.4f})")
+    print(f"  branch recovery    : {report.metrics['cbr']:.3f} "
+          f"(0.5 = coin flip, random guess {report.metrics['rg_uniform_cbr']:.3f})\n")
+
+    # ------------------------------------------------------------------
+    # 3. Countermeasures the passive party can demand, straight from the
+    #    defense registry.
+    # ------------------------------------------------------------------
+    screened = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="rf", attack="grna",
+            defenses=(("screening", {"correlation_threshold": 0.45}),),
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("uniform",),
+        )
+    )
+    dropped = screened.scenario.meta["screening"]["dropped_columns"]
+    print("[pre-collaboration screening]")
+    print(f"  registry entry       : {DEFENSES.get('screening').__name__}")
+    print(f"  columns withheld     : {dropped}")
+    print(f"  GRNA MSE afterwards  : {screened.metrics['mse']:.4f} on the "
+          f"{screened.scenario.view.d_target} columns still contributed\n")
+
     print("[post-processing verification]")
-    print(f"  outputs blocked at min_candidate_paths=3: {blocked / 200:.1%}")
-    print("  (each blocked output would have let the adversary narrow the")
-    print("   prediction to fewer than 3 candidate paths)")
+    try:
+        verified = run_scenario(
+            ScenarioConfig(
+                dataset="bank", model="dt", attack="pra",
+                defenses=(("verification", {"min_candidate_paths": 3}),),
+                target_fraction=0.4, scale=SCALE, seed=0,
+            )
+        )
+    except ScenarioError:
+        # Every pending output would let the adversary narrow the tree to
+        # fewer than 3 candidate paths — the verifier refuses to serve
+        # this deployment at all, the strongest possible audit verdict.
+        print("  outputs blocked at min_candidate_paths=3: 100.0%")
+        print("  verdict: this tree should not be served without an output defense")
+    else:
+        n_blocked = verified.scenario.meta["n_blocked"]
+        n_total = n_blocked + verified.scenario.V.shape[0]
+        print(f"  outputs blocked at min_candidate_paths=3: {n_blocked / n_total:.1%}")
+        print("  (each blocked output would have let the adversary narrow the")
+        print("   prediction to fewer than 3 candidate paths)")
 
 
 if __name__ == "__main__":

@@ -1,2 +1,5 @@
+"""Legacy installer shim; all metadata lives in pyproject.toml."""
+
 from setuptools import setup
+
 setup()

@@ -25,12 +25,24 @@ Quickstart
 True
 """
 
-from repro import attacks, datasets, defenses, experiments, federated, metrics, models, nn, tensor
+from repro import (
+    api,
+    attacks,
+    datasets,
+    defenses,
+    experiments,
+    federated,
+    metrics,
+    models,
+    nn,
+    tensor,
+)
 from repro.exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "attacks",
     "datasets",
     "defenses",

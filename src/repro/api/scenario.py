@@ -1,0 +1,443 @@
+"""The one-call scenario facade: ``run_scenario(ScenarioConfig) -> ScenarioReport``.
+
+Every cell of the paper's evaluation grid — {ESA, PRA, GRNA} × {LR, NN,
+DT, RF} × defenses × datasets (§VI–VII) — follows one skeleton: load a
+dataset, split it into a training half and a prediction pool, assign a
+fraction of the features to the attack target, train the VFL model
+centrally, serve the prediction pool through the (possibly defended)
+protocol, attack the accumulated outputs, and score the reconstruction.
+:func:`run_scenario` packages that skeleton behind the string-keyed
+registries, so any grid cell — including combinations the paper never ran
+— is one call::
+
+    from repro.api import ScenarioConfig, run_scenario
+
+    report = run_scenario(ScenarioConfig(
+        dataset="bank", model="lr", attack="esa",
+        defenses=[("rounding", {"digits": 3})],
+        target_fraction=0.4, scale="smoke", seed=0,
+        baselines=("uniform",),
+    ))
+    print(report.metrics["mse"], report.metrics["rg_uniform_mse"])
+
+Determinism contract: a report depends only on ``(config, scale)``.
+The seed schedule (four spawned streams for data/partition/model/pick,
+a fifth for defenses, attack streams per
+:mod:`repro.api.attacks`, baselines seeded with the raw scenario seed)
+replicates the historical experiment runners bit-for-bit, which is what
+lets :mod:`repro.experiments.figures` run on this facade without
+changing a single published number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.attacks import ATTACKS, ScenarioAttack
+from repro.api.datasets import DATASETS
+from repro.api.defenses import DefenseStack, unwrap_model
+from repro.api.models import MODELS, make_model
+from repro.attacks import AttackResult, RandomGuessAttack, random_path
+from repro.config import ScaleConfig, get_scale
+from repro.datasets import Dataset, load_dataset
+from repro.exceptions import IncompatibleScenarioError, ScenarioError
+from repro.federated import (
+    AdversaryView,
+    FeaturePartition,
+    VerticalFLModel,
+    train_vertical_model,
+)
+from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr, reconstruction_cbr
+from repro.models import BaseClassifier
+from repro.nn.data import train_test_split
+from repro.utils.random import check_random_state, spawn_rngs
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioReport",
+    "VFLScenario",
+    "build_scenario",
+    "run_scenario",
+]
+
+#: Baseline names accepted by :attr:`ScenarioConfig.baselines`.
+BASELINES = ("uniform", "gaussian", "path")
+
+
+@dataclass
+class VFLScenario:
+    """Everything one attack experiment needs.
+
+    Attributes
+    ----------
+    vfl:
+        The served vertical FL model (prediction protocol + parties).
+    view:
+        Adversary/target column split.
+    X_adv, X_target:
+        The adversary's own columns and the ground-truth target columns of
+        the accumulated prediction samples (``X_target`` is used only for
+        scoring).
+    V:
+        Confidence scores the protocol revealed for those samples.
+    X_pred_full:
+        The full-width prediction samples (evaluation only, e.g. for CBR).
+    meta:
+        Defense bookkeeping (screening report, release mask, ...).
+    """
+
+    dataset: Dataset
+    model: BaseClassifier
+    vfl: VerticalFLModel
+    view: AdversaryView
+    X_adv: np.ndarray
+    X_target: np.ndarray
+    V: np.ndarray
+    X_pred_full: np.ndarray
+    y_pred: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def build_scenario(
+    dataset_name: str,
+    model_kind: str,
+    target_fraction: float,
+    scale: ScaleConfig,
+    seed: int,
+    *,
+    n_predictions: int | None = None,
+    dropout: float = 0.0,
+    model_wrapper=None,
+    model_params: dict[str, Any] | None = None,
+    defense_stack: DefenseStack | None = None,
+) -> VFLScenario:
+    """Construct one complete attack scenario.
+
+    Parameters
+    ----------
+    dataset_name:
+        A Table II dataset name.
+    model_kind:
+        ``"lr"``, ``"nn"``, ``"dt"``, or ``"rf"``.
+    target_fraction:
+        Fraction of features assigned to the attack target.
+    scale, seed:
+        Size preset and master seed (each sub-component gets an
+        independent derived stream).
+    n_predictions:
+        Override the number of accumulated predictions.
+    dropout:
+        Dropout probability for the NN model (Fig. 11e-f countermeasure).
+    model_wrapper:
+        Legacy hook: optional callable applied to the fitted model before
+        serving. Prefer ``defense_stack``.
+    model_params:
+        Extra keyword overrides for the model builder.
+    defense_stack:
+        Composable §VII defenses: screening runs before training, output
+        wrappers before serving, verification after prediction. When no
+        stack is given the construction path (and its random-stream
+        consumption) is identical to the historical undefended skeleton.
+    """
+    n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
+    streams = spawn_rngs(seed, n_streams)
+    data_rng, part_rng, model_rng, pick_rng = streams[:4]
+    defense_rng = streams[4] if n_streams == 5 else None
+
+    dataset = load_dataset(dataset_name, n_samples=scale.n_samples, rng=data_rng)
+    X, y = dataset.X, dataset.y
+    partition = FeaturePartition.adversary_target(
+        dataset.n_features, target_fraction, rng=part_rng
+    )
+    view = partition.adversary_view()
+    meta: dict[str, Any] = {}
+    if defense_rng is not None:
+        X, partition, view, meta = defense_stack.screen(
+            X, y, partition, view, dataset.n_classes
+        )
+    X_train, X_pool, y_train, y_pool = train_test_split(
+        X, y, test_fraction=0.5, rng=data_rng
+    )
+
+    overrides = dict(model_params or {})
+    model = make_model(
+        model_kind,
+        scale,
+        model_rng,
+        dropout=overrides.pop("dropout", dropout),
+        **overrides,
+    )
+    vfl = train_vertical_model(model, X_train, y_train, X_pool, y_pool, partition)
+    if model_wrapper is not None:
+        vfl.model = model_wrapper(model)
+    if defense_rng is not None:
+        vfl.model = defense_stack.wrap(vfl.model, rng=defense_rng)
+
+    n_pred = scale.n_predictions if n_predictions is None else int(n_predictions)
+    n_pred = min(n_pred, X_pool.shape[0])
+    picked = check_random_state(pick_rng).choice(
+        X_pool.shape[0], size=n_pred, replace=False
+    )
+    V = vfl.predict(picked)
+    X_pred_full = X_pool[picked]
+    X_adv, X_target = view.split(X_pred_full)
+    scenario = VFLScenario(
+        dataset=dataset,
+        model=vfl.model,
+        vfl=vfl,
+        view=view,
+        X_adv=X_adv,
+        X_target=X_target,
+        V=V,
+        X_pred_full=X_pred_full,
+        y_pred=y_pool[picked],
+        meta=meta,
+    )
+    if defense_rng is not None:
+        scenario = defense_stack.apply_release_filter(scenario)
+    return scenario
+
+
+@dataclass
+class ScenarioConfig:
+    """Declarative description of one grid cell.
+
+    All component fields are registry keys — see
+    :data:`~repro.api.attacks.ATTACKS`, :data:`~repro.api.models.MODELS`,
+    :data:`~repro.api.datasets.DATASETS`, and
+    :data:`~repro.api.defenses.DEFENSES` — so a config is fully
+    serializable and any typo fails fast with the valid choices listed.
+    """
+
+    dataset: str
+    model: str
+    attack: str
+    defenses: tuple = ()
+    target_fraction: float = 0.3
+    n_predictions: int | None = None
+    scale: "str | ScaleConfig" = "smoke"
+    seed: int = 0
+    model_params: dict[str, Any] = field(default_factory=dict)
+    attack_params: dict[str, Any] = field(default_factory=dict)
+    baselines: tuple[str, ...] = ()
+    compute_cbr: bool = False
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one :func:`run_scenario` call.
+
+    Attributes
+    ----------
+    config:
+        The config that produced this report.
+    scenario:
+        The built scenario (model, view, accumulated predictions, ground
+        truth) for downstream analysis.
+    result:
+        The attack's :class:`~repro.attacks.base.AttackResult`.
+    metrics:
+        Scored outcomes: ``"mse"`` whenever the attack produced point
+        estimates, ``"pra_cbr"``/``"restricted_fractions"`` for PRA,
+        ``"cbr"`` when ``compute_cbr`` was requested on a tree model, and
+        one ``"rg_<name>_..."`` entry per requested baseline.
+    """
+
+    config: ScenarioConfig
+    scenario: VFLScenario
+    result: AttackResult
+    metrics: dict[str, Any]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest (used by the examples)."""
+        parts = [
+            f"{self.config.attack} on {self.config.model}/{self.config.dataset}"
+            f" (d_target={self.scenario.view.d_target}"
+            f", defenses={list(self.config.defenses) or 'none'})"
+        ]
+        for key in sorted(self.metrics):
+            value = self.metrics[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4f}")
+        return "; ".join(parts)
+
+
+def _tree_structures(model: BaseClassifier) -> list:
+    """Structures of a tree-based released model (forest → every tree)."""
+    base = unwrap_model(model)
+    if hasattr(base, "tree_structures"):
+        return list(base.tree_structures())
+    if hasattr(base, "tree_structure"):
+        return [base.tree_structure()]
+    raise IncompatibleScenarioError(
+        f"compute_cbr needs a tree-based model exposing its structure; "
+        f"{type(base).__name__} has none"
+    )
+
+
+def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStack) -> None:
+    if attack.compatible_models is not None and config.model not in attack.compatible_models:
+        raise IncompatibleScenarioError(
+            f"attack {config.attack!r} supports models "
+            f"{attack.compatible_models}, not {config.model!r}: "
+            f"{attack.constraint}"
+        )
+    stack.validate_for_model(config.model)
+    for name in config.baselines:
+        if name not in BASELINES:
+            raise ScenarioError(
+                f"unknown baseline {name!r}; choose from {list(BASELINES)}"
+            )
+    if "path" in config.baselines and config.model != "dt":
+        raise IncompatibleScenarioError(
+            "the 'path' baseline draws random root-to-leaf paths of a "
+            f"single decision tree; model {config.model!r} has none"
+        )
+    if config.compute_cbr and config.model not in ("dt", "rf"):
+        raise IncompatibleScenarioError(
+            "compute_cbr scores branch agreement on a tree-based model; "
+            f"model {config.model!r} has no tree structure"
+        )
+    if not 0.0 < config.target_fraction < 1.0:
+        raise ScenarioError(
+            f"target_fraction must lie in (0, 1), got {config.target_fraction}"
+        )
+
+
+def _compute_metrics(
+    config: ScenarioConfig,
+    scenario: VFLScenario,
+    result: AttackResult,
+) -> dict[str, Any]:
+    metrics: dict[str, Any] = {}
+    x_hat = result.x_target_hat
+    if x_hat is not None:
+        metrics["mse"] = float(mse_per_feature(x_hat, scenario.X_target))
+
+    structures = None
+    if config.compute_cbr or "path" in config.baselines:
+        structures = _tree_structures(scenario.model)
+
+    # PRA path metrics: branch agreement of the selected candidate paths.
+    if "selected_paths" in result.info:
+        structure = structures[0] if structures else _tree_structures(scenario.model)[0]
+        counts = [
+            path_cbr(
+                structure,
+                path,
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+            for i, path in enumerate(result.info["selected_paths"])
+            if path is not None
+        ]
+        metrics["pra_cbr"] = float(aggregate_cbr(counts))
+        total = result.info["n_paths_total"]
+        metrics["restricted_fractions"] = [
+            float(n / total) for n in result.info["n_paths_restricted"]
+        ]
+
+    # Reconstruction CBR: walk the reconstructed values along the true paths.
+    if config.compute_cbr and x_hat is not None:
+        full_hat = scenario.view.assemble(scenario.X_adv, x_hat)
+        counts = [
+            reconstruction_cbr(
+                structure,
+                scenario.X_pred_full[i],
+                full_hat[i],
+                scenario.view.target_indices,
+            )
+            for i in range(scenario.X_pred_full.shape[0])
+            for structure in structures
+        ]
+        metrics["cbr"] = float(aggregate_cbr(counts))
+
+    # Value-guess baselines (each on a fresh stream seeded with the raw
+    # scenario seed — the historical schedule).
+    for distribution in ("uniform", "gaussian"):
+        if distribution not in config.baselines:
+            continue
+        guess = RandomGuessAttack(
+            scenario.view, distribution=distribution, rng=config.seed
+        ).run(scenario.X_adv)
+        metrics[f"rg_{distribution}_mse"] = float(
+            mse_per_feature(guess.x_target_hat, scenario.X_target)
+        )
+        if config.compute_cbr:
+            full_guess = scenario.view.assemble(scenario.X_adv, guess.x_target_hat)
+            counts = [
+                reconstruction_cbr(
+                    structure,
+                    scenario.X_pred_full[i],
+                    full_guess[i],
+                    scenario.view.target_indices,
+                )
+                for i in range(scenario.X_pred_full.shape[0])
+                for structure in structures
+            ]
+            metrics[f"rg_{distribution}_cbr"] = float(aggregate_cbr(counts))
+
+    # Random-path baseline (second half of PRA's historical seed split).
+    if "path" in config.baselines:
+        _, guess_rng = spawn_rngs(config.seed, 2)
+        structure = structures[0]
+        counts = [
+            path_cbr(
+                structure,
+                random_path(structure, guess_rng),
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+            for i in range(scenario.X_pred_full.shape[0])
+        ]
+        metrics["rg_path_cbr"] = float(aggregate_cbr(counts))
+    return metrics
+
+
+def run_scenario(
+    config: ScenarioConfig, *, scenario: VFLScenario | None = None
+) -> ScenarioReport:
+    """Run one grid cell end to end and score it.
+
+    Resolves every registry key (raising listing errors for typos and
+    :class:`~repro.exceptions.IncompatibleScenarioError` for combinations
+    that violate an attack/defense constraint), builds the defended
+    scenario, executes the attack through the unified protocol, and
+    computes the §III-C metrics.
+
+    Parameters
+    ----------
+    scenario:
+        Reuse an already-built scenario instead of building one — the way
+        to run several attacks against one deployment without retraining
+        it per attack. The caller guarantees the scenario matches the
+        config's dataset/model/defenses; the config is still validated,
+        but its defenses are *not* re-applied to the prebuilt scenario.
+    """
+    scale = get_scale(config.scale)
+    DATASETS.get(config.dataset)
+    MODELS.get(config.model)
+    attack: ScenarioAttack = ATTACKS.create(config.attack, **config.attack_params)
+    stack = DefenseStack.from_specs(config.defenses)
+    _validate(config, attack, stack)
+
+    if scenario is None:
+        scenario = build_scenario(
+            config.dataset,
+            config.model,
+            config.target_fraction,
+            scale,
+            config.seed,
+            n_predictions=config.n_predictions,
+            model_params=config.model_params,
+            defense_stack=stack if len(stack) else None,
+        )
+    attack.prepare(scenario, scale=scale, seed=config.seed)
+    result = attack.run(scenario.X_adv, scenario.V)
+    metrics = _compute_metrics(config, scenario, result)
+    return ScenarioReport(
+        config=config, scenario=scenario, result=result, metrics=metrics
+    )

@@ -1,5 +1,6 @@
 """Countermeasures against prediction-output feature inference (§VII)."""
 
+from repro.defenses.base import ModelWrapper, unwrap_model
 from repro.defenses.rounding import RoundedModel, round_confidence_scores
 from repro.defenses.noise import NoisyModel, noise_confidence_scores
 from repro.defenses.screening import (
@@ -10,6 +11,8 @@ from repro.defenses.screening import (
 from repro.defenses.verification import LeakageVerifier, VerificationDecision
 
 __all__ = [
+    "ModelWrapper",
+    "unwrap_model",
     "RoundedModel",
     "round_confidence_scores",
     "NoisyModel",

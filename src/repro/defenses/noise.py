@@ -9,8 +9,11 @@ vector (an output the active party would accept).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.defenses.base import ModelWrapper
 from repro.exceptions import ValidationError
 from repro.models.base import BaseClassifier
 from repro.utils.random import check_random_state
@@ -51,8 +54,17 @@ def noise_confidence_scores(
     return np.where(totals > 0, noisy / np.where(totals > 0, totals, 1.0), uniform)
 
 
-class NoisyModel(BaseClassifier):
-    """Wrap a fitted model so its confidence outputs are noised."""
+class NoisyModel(ModelWrapper):
+    """Wrap a fitted model so its confidence outputs are noised.
+
+    .. deprecated::
+        Construct the defense through :mod:`repro.api` instead —
+        ``DefenseStack(["noise"])`` or
+        ``ScenarioConfig(defenses=[("noise", {"scale": s})])`` — which
+        also lets noise chain with other output defenses. Direct
+        construction keeps working unchanged but emits a
+        :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
@@ -62,19 +74,43 @@ class NoisyModel(BaseClassifier):
         kind: str = "laplace",
         rng: np.random.Generator | int | None = None,
     ) -> None:
-        super().__init__()
-        model._check_fitted()
-        self.model = model
+        warnings.warn(
+            "Constructing NoisyModel directly is deprecated; use the "
+            "'noise' entry of repro.api's defense registry "
+            "(DefenseStack or ScenarioConfig(defenses=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._configure(model, scale, kind=kind, rng=rng)
+
+    @classmethod
+    def _wrap(
+        cls,
+        model: BaseClassifier,
+        scale: float,
+        *,
+        kind: str = "laplace",
+        rng: np.random.Generator | int | None = None,
+    ) -> "NoisyModel":
+        """Internal constructor for the api layer (no deprecation warning)."""
+        wrapper = cls.__new__(cls)
+        wrapper._configure(model, scale, kind=kind, rng=rng)
+        return wrapper
+
+    def _configure(
+        self,
+        model: BaseClassifier,
+        scale: float,
+        *,
+        kind: str = "laplace",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        ModelWrapper.__init__(self, model)
         self.scale = check_in_range(scale, name="scale", low=0.0)
         if kind not in ("laplace", "gaussian"):
             raise ValidationError(f"kind must be 'laplace' or 'gaussian', got {kind!r}")
         self.kind = kind
         self.rng = check_random_state(rng)
-        self.n_features_ = model.n_features_
-        self.n_classes_ = model.n_classes_
-
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "NoisyModel":
-        raise ValidationError("NoisyModel wraps an already-fitted model")
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return noise_confidence_scores(

@@ -9,9 +9,11 @@ conclusion from Fig. 11).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.defenses.base import ModelWrapper
 from repro.models.base import BaseClassifier
 from repro.utils.validation import check_positive_int
 
@@ -29,24 +31,38 @@ def round_confidence_scores(v: np.ndarray, digits: int) -> np.ndarray:
     return np.floor(v * scale) / scale
 
 
-class RoundedModel(BaseClassifier):
+class RoundedModel(ModelWrapper):
     """Wrap a fitted model so its confidence outputs are truncated.
 
-    The wrapper is itself a :class:`BaseClassifier`, so it slots directly
-    into :class:`repro.federated.VerticalFLModel` — the parties deploy the
-    defense, the adversary attacks the truncated outputs.
+    .. deprecated::
+        Construct the defense through :mod:`repro.api` instead —
+        ``DefenseStack(["rounding"])`` or
+        ``ScenarioConfig(defenses=[("rounding", {"digits": b})])`` —
+        which also lets rounding chain with other output defenses.
+        Direct construction keeps working unchanged but emits a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(self, model: BaseClassifier, digits: int) -> None:
-        super().__init__()
-        model._check_fitted()
-        self.model = model
-        self.digits = check_positive_int(digits, name="digits")
-        self.n_features_ = model.n_features_
-        self.n_classes_ = model.n_classes_
+        warnings.warn(
+            "Constructing RoundedModel directly is deprecated; use the "
+            "'rounding' entry of repro.api's defense registry "
+            "(DefenseStack or ScenarioConfig(defenses=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._configure(model, digits)
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RoundedModel":
-        raise ValidationError("RoundedModel wraps an already-fitted model")
+    @classmethod
+    def _wrap(cls, model: BaseClassifier, digits: int) -> "RoundedModel":
+        """Internal constructor for the api layer (no deprecation warning)."""
+        wrapper = cls.__new__(cls)
+        wrapper._configure(model, digits)
+        return wrapper
+
+    def _configure(self, model: BaseClassifier, digits: int) -> None:
+        ModelWrapper.__init__(self, model)
+        self.digits = check_positive_int(digits, name="digits")
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return round_confidence_scores(self.model.predict_proba(X), self.digits)

@@ -46,3 +46,16 @@ class AttackError(ReproError, RuntimeError):
 
 class DatasetError(ValidationError):
     """A dataset specification or generated dataset is invalid."""
+
+
+class ScenarioError(ValidationError):
+    """A scenario request (registry key, config, defense outcome) is invalid."""
+
+
+class IncompatibleScenarioError(ScenarioError):
+    """A scenario combines components that cannot work together.
+
+    Raised by the :mod:`repro.api` facade when an attack or defense is
+    requested against a model kind it does not support (e.g. ESA on a
+    decision tree); the message names the violated constraint.
+    """

@@ -31,7 +31,7 @@ The same engine backs the CLI::
     python -m repro.experiments fig7 --scale smoke --jobs 4 --store-dir results/
 """
 
-from repro.experiments.config import (
+from repro.config import (
     DEFAULT,
     FULL,
     PAPER_FRACTIONS,

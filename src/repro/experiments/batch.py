@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.exceptions import ValidationError
-from repro.experiments.config import ScaleConfig, get_scale
+from repro.config import ScaleConfig, get_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.spec import (
     TrialSpec,

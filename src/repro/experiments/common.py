@@ -1,172 +1,23 @@
-"""Shared scenario construction for all experiments.
+"""Shared scenario construction — compatibility shim over :mod:`repro.api`.
 
-Every figure in §VI follows the same skeleton: load a dataset, split it
-into a training half and a prediction pool (§VI-C: "first use half of the
-dataset for model training and testing, then randomly select n samples
-from the remaining part as the prediction dataset"), randomly assign a
-fraction of the features to the attack target, train the VFL model
-centrally, and serve the prediction pool through the secure protocol.
-:func:`build_scenario` packages those steps.
+The load→partition→train→serve skeleton that every §VI figure shares
+moved into the scenario API (:mod:`repro.api.scenario`), where it gained
+composable defense hooks; the model factory became the ``MODELS``
+registry (:mod:`repro.api.models`). This module re-exports the historical
+names — :class:`VFLScenario`, :func:`build_scenario`, :func:`make_model`,
+:data:`MODEL_KINDS`, :func:`grna_kwargs_from_scale` — so existing
+callers keep working unchanged. New code should import from
+:mod:`repro.api` directly.
 """
 
-from __future__ import annotations
+from repro.api.attacks import grna_kwargs_from_scale  # noqa: F401
+from repro.api.models import MODEL_KINDS, make_model  # noqa: F401
+from repro.api.scenario import VFLScenario, build_scenario  # noqa: F401
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.datasets import Dataset, load_dataset
-from repro.exceptions import ValidationError
-from repro.experiments.config import ScaleConfig
-from repro.federated import (
-    AdversaryView,
-    FeaturePartition,
-    VerticalFLModel,
-    train_vertical_model,
-)
-from repro.models import (
-    BaseClassifier,
-    DecisionTreeClassifier,
-    LogisticRegression,
-    MLPClassifier,
-    RandomForestClassifier,
-)
-from repro.nn.data import train_test_split
-from repro.utils.random import check_random_state, spawn_rngs
-
-MODEL_KINDS = ("lr", "nn", "dt", "rf")
-
-
-@dataclass
-class VFLScenario:
-    """Everything one attack experiment needs.
-
-    Attributes
-    ----------
-    vfl:
-        The served vertical FL model (prediction protocol + parties).
-    view:
-        Adversary/target column split.
-    X_adv, X_target:
-        The adversary's own columns and the ground-truth target columns of
-        the accumulated prediction samples (``X_target`` is used only for
-        scoring).
-    V:
-        Confidence scores the protocol revealed for those samples.
-    X_pred_full:
-        The full-width prediction samples (evaluation only, e.g. for CBR).
-    """
-
-    dataset: Dataset
-    model: BaseClassifier
-    vfl: VerticalFLModel
-    view: AdversaryView
-    X_adv: np.ndarray
-    X_target: np.ndarray
-    V: np.ndarray
-    X_pred_full: np.ndarray
-    y_pred: np.ndarray
-
-
-def make_model(
-    kind: str,
-    scale: ScaleConfig,
-    rng: np.random.Generator,
-    *,
-    dropout: float = 0.0,
-) -> BaseClassifier:
-    """Instantiate a VFL model of the requested kind at the given scale."""
-    if kind == "lr":
-        return LogisticRegression(epochs=scale.lr_epochs, rng=rng)
-    if kind == "nn":
-        return MLPClassifier(
-            hidden_sizes=scale.mlp_hidden,
-            epochs=scale.mlp_epochs,
-            dropout=dropout,
-            rng=rng,
-        )
-    if kind == "dt":
-        return DecisionTreeClassifier(max_depth=scale.dt_depth, rng=rng)
-    if kind == "rf":
-        return RandomForestClassifier(
-            n_trees=scale.rf_trees, max_depth=scale.rf_depth, rng=rng
-        )
-    raise ValidationError(f"unknown model kind {kind!r}; choose from {MODEL_KINDS}")
-
-
-def build_scenario(
-    dataset_name: str,
-    model_kind: str,
-    target_fraction: float,
-    scale: ScaleConfig,
-    seed: int,
-    *,
-    n_predictions: int | None = None,
-    dropout: float = 0.0,
-    model_wrapper=None,
-) -> VFLScenario:
-    """Construct one complete attack scenario.
-
-    Parameters
-    ----------
-    dataset_name:
-        A Table II dataset name.
-    model_kind:
-        ``"lr"``, ``"nn"``, ``"dt"``, or ``"rf"``.
-    target_fraction:
-        Fraction of features assigned to the attack target.
-    scale, seed:
-        Size preset and master seed (each sub-component gets an
-        independent derived stream).
-    n_predictions:
-        Override the number of accumulated predictions.
-    dropout:
-        Dropout probability for the NN model (Fig. 11e-f countermeasure).
-    model_wrapper:
-        Optional callable applied to the fitted model before serving —
-        how output defenses (e.g. ``RoundedModel``) are installed.
-    """
-    data_rng, part_rng, model_rng, pick_rng = spawn_rngs(seed, 4)
-    dataset = load_dataset(dataset_name, n_samples=scale.n_samples, rng=data_rng)
-    X_train, X_pool, y_train, y_pool = train_test_split(
-        dataset.X, dataset.y, test_fraction=0.5, rng=data_rng
-    )
-    partition = FeaturePartition.adversary_target(
-        dataset.n_features, target_fraction, rng=part_rng
-    )
-    view = partition.adversary_view()
-
-    model = make_model(model_kind, scale, model_rng, dropout=dropout)
-    vfl = train_vertical_model(model, X_train, y_train, X_pool, y_pool, partition)
-    if model_wrapper is not None:
-        vfl.model = model_wrapper(model)
-
-    n_pred = scale.n_predictions if n_predictions is None else int(n_predictions)
-    n_pred = min(n_pred, X_pool.shape[0])
-    picked = check_random_state(pick_rng).choice(
-        X_pool.shape[0], size=n_pred, replace=False
-    )
-    V = vfl.predict(picked)
-    X_pred_full = X_pool[picked]
-    X_adv, X_target = view.split(X_pred_full)
-    return VFLScenario(
-        dataset=dataset,
-        model=vfl.model,
-        vfl=vfl,
-        view=view,
-        X_adv=X_adv,
-        X_target=X_target,
-        V=V,
-        X_pred_full=X_pred_full,
-        y_pred=y_pool[picked],
-    )
-
-
-def grna_kwargs_from_scale(scale: ScaleConfig, rng) -> dict:
-    """Generator hyper-parameters for :class:`GenerativeRegressionNetwork`."""
-    return {
-        "hidden_sizes": scale.grna_hidden,
-        "epochs": scale.grna_epochs,
-        "batch_size": scale.grna_batch_size,
-        "rng": rng,
-    }
+__all__ = [
+    "MODEL_KINDS",
+    "VFLScenario",
+    "build_scenario",
+    "grna_kwargs_from_scale",
+    "make_model",
+]

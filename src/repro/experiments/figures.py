@@ -13,23 +13,21 @@ and ``figN_aggregate`` folds payloads back into the paper's table. The
 public ``figN`` entry points run the same units serially, so classic
 calls, ``run_batch(..., jobs=N)``, and store-resumed runs all produce
 identical tables.
+
+Since the scenario-API refactor every ``figN_run_unit`` is a thin
+declaration over :func:`repro.api.run_scenario` — one
+:class:`~repro.api.ScenarioConfig` per grid cell. The facade's seed
+schedule replicates the historical runners, so the tables are
+bit-identical to the pre-refactor implementation (regression-tested in
+``tests/test_api_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import (
-    EqualitySolvingAttack,
-    GenerativeRegressionNetwork,
-    PathRestrictionAttack,
-    RandomGuessAttack,
-    attack_random_forest,
-    random_path,
-)
-from repro.defenses import RoundedModel
-from repro.experiments.common import build_scenario, grna_kwargs_from_scale
-from repro.experiments.config import ScaleConfig, get_scale
+from repro.api import DefenseStack, ScenarioConfig, build_scenario, run_scenario
+from repro.config import ScaleConfig, get_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.spec import (
     ExperimentSpec,
@@ -39,16 +37,7 @@ from repro.experiments.spec import (
     group_payloads as _group_by,
     register_experiment,
 )
-from repro.metrics import (
-    aggregate_cbr,
-    correlation_report,
-    feature_wise_mse,
-    mse_per_feature,
-    path_cbr,
-    reconstruction_cbr,
-)
-from repro.models import RandomForestDistiller
-from repro.utils.random import spawn_rngs
+from repro.metrics import correlation_report, feature_wise_mse
 
 REAL_DATASETS = ("bank", "credit", "drive", "news")
 
@@ -64,17 +53,6 @@ DROPOUT_LEVELS = (("dropout", 0.25), ("no_dropout", 0.0))
 
 def _pct(fraction: float) -> int:
     return int(round(fraction * 100))
-
-
-def _random_guess_mses(
-    view, X_adv: np.ndarray, X_target: np.ndarray, rng
-) -> tuple[float, float]:
-    uniform = RandomGuessAttack(view, distribution="uniform", rng=rng).run(X_adv)
-    gaussian = RandomGuessAttack(view, distribution="gaussian", rng=rng).run(X_adv)
-    return (
-        float(mse_per_feature(uniform.x_target_hat, X_target)),
-        float(mse_per_feature(gaussian.x_target_hat, X_target)),
-    )
 
 
 def _run_serial(
@@ -119,19 +97,22 @@ def fig5_units(
 def fig5_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """ESA + random-guess baselines on one scenario."""
     params = spec.kwargs
-    scenario = build_scenario(
-        params["dataset"], "lr", params["fraction"], scale, spec.seed
-    )
-    attack = EqualitySolvingAttack(scenario.model, scenario.view)
-    result = attack.run(scenario.X_adv, scenario.V)
-    rg_u, rg_g = _random_guess_mses(
-        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="lr",
+            attack="esa",
+            target_fraction=params["fraction"],
+            scale=scale,
+            seed=spec.seed,
+            baselines=("uniform", "gaussian"),
+        )
     )
     return {
-        "esa_mse": float(mse_per_feature(result.x_target_hat, scenario.X_target)),
-        "rg_uniform_mse": rg_u,
-        "rg_gaussian_mse": rg_g,
-        "exact": bool(attack.is_exact),
+        "esa_mse": report.metrics["mse"],
+        "rg_uniform_mse": report.metrics["rg_uniform_mse"],
+        "rg_gaussian_mse": report.metrics["rg_gaussian_mse"],
+        "exact": bool(report.result.info["is_exact"]),
     }
 
 
@@ -208,37 +189,21 @@ def fig6_units(
 def fig6_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """PRA + random-path baseline over every accumulated prediction."""
     params = spec.kwargs
-    scenario = build_scenario(
-        params["dataset"], "dt", params["fraction"], scale, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="dt",
+            attack="pra",
+            target_fraction=params["fraction"],
+            scale=scale,
+            seed=spec.seed,
+            baselines=("path",),
+        )
     )
-    structure = scenario.model.tree_structure()
-    attack = PathRestrictionAttack(structure, scenario.view)
-    attack_rng, guess_rng = spawn_rngs(spec.seed, 2)
-    labels = np.argmax(scenario.V, axis=1)
-    counts, rg_counts, restricted = [], [], []
-    for i in range(scenario.X_adv.shape[0]):
-        result = attack.run(scenario.X_adv[i], int(labels[i]), rng=attack_rng)
-        counts.append(
-            path_cbr(
-                structure,
-                result.selected_path,
-                scenario.X_pred_full[i],
-                scenario.view.target_indices,
-            )
-        )
-        rg_counts.append(
-            path_cbr(
-                structure,
-                random_path(structure, guess_rng),
-                scenario.X_pred_full[i],
-                scenario.view.target_indices,
-            )
-        )
-        restricted.append(float(result.n_paths_restricted / result.n_paths_total))
     return {
-        "pra_cbr": float(aggregate_cbr(counts)),
-        "rg_cbr": float(aggregate_cbr(rg_counts)),
-        "restricted": restricted,
+        "pra_cbr": report.metrics["pra_cbr"],
+        "rg_cbr": report.metrics["rg_path_cbr"],
+        "restricted": report.metrics["restricted_fractions"],
     }
 
 
@@ -322,21 +287,25 @@ def fig7_units(
 def fig7_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """GRNA against every model kind on one trial's scenarios."""
     params = spec.kwargs
+    models = tuple(params["models"])
     payload: dict[str, float] = {}
-    scenario = None
-    for model_kind in params["models"]:
-        scenario = build_scenario(
-            params["dataset"], model_kind, params["fraction"], scale, spec.seed
+    report = None
+    for model_kind in models:
+        is_last = model_kind == models[-1]
+        report = run_scenario(
+            ScenarioConfig(
+                dataset=params["dataset"],
+                model=model_kind,
+                attack="grna",
+                target_fraction=params["fraction"],
+                scale=scale,
+                seed=spec.seed,
+                baselines=("uniform", "gaussian") if is_last else (),
+            )
         )
-        x_hat = _run_grna(scenario, model_kind, scale, spec.seed)
-        payload[f"grna_{model_kind}_mse"] = float(
-            mse_per_feature(x_hat, scenario.X_target)
-        )
-    rg_u, rg_g = _random_guess_mses(
-        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
-    )
-    payload["rg_uniform_mse"] = rg_u
-    payload["rg_gaussian_mse"] = rg_g
+        payload[f"grna_{model_kind}_mse"] = report.metrics["mse"]
+    payload["rg_uniform_mse"] = report.metrics["rg_uniform_mse"]
+    payload["rg_gaussian_mse"] = report.metrics["rg_gaussian_mse"]
     return payload
 
 
@@ -394,34 +363,6 @@ def fig7_grna(
     return _run_serial(units, fig7_run_unit, fig7_aggregate, scale, seed=seed)
 
 
-def _run_grna(scenario, model_kind: str, scale: ScaleConfig, trial_seed: int) -> np.ndarray:
-    """Run GRNA against a scenario, distilling first for forests."""
-    # Three streams, prefix-compatible with the historical two-stream split:
-    # the dummy stream fixes attack_random_forest's conditioned-sample rng,
-    # which previously defaulted to OS entropy and made RF runs irreproducible.
-    grna_rng, distill_rng, dummy_rng = spawn_rngs(trial_seed + 1, 3)
-    kwargs = grna_kwargs_from_scale(scale, grna_rng)
-    if model_kind == "rf":
-        distiller = RandomForestDistiller(
-            hidden_sizes=scale.distiller_hidden,
-            n_dummy=scale.distiller_dummy,
-            epochs=scale.distiller_epochs,
-            rng=distill_rng,
-        )
-        result, _ = attack_random_forest(
-            scenario.model,
-            scenario.view,
-            scenario.X_adv,
-            scenario.V,
-            distiller=distiller,
-            grna_kwargs=kwargs,
-            rng=dummy_rng,
-        )
-        return result.x_target_hat
-    attack = GenerativeRegressionNetwork(scenario.model, scenario.view, **kwargs)
-    return attack.run(scenario.X_adv, scenario.V).x_target_hat
-
-
 # ----------------------------------------------------------------------
 # Fig. 8 — GRNA on the RF model, CBR metric
 # ----------------------------------------------------------------------
@@ -451,38 +392,21 @@ def fig8_units(
 def fig8_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """Branch agreement of one GRNA reconstruction on the true forest."""
     params = spec.kwargs
-    scenario = build_scenario(
-        params["dataset"], "rf", params["fraction"], scale, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="rf",
+            attack="grna",
+            target_fraction=params["fraction"],
+            scale=scale,
+            seed=spec.seed,
+            baselines=("uniform",),
+            compute_cbr=True,
+        )
     )
-    x_hat = _run_grna(scenario, "rf", scale, spec.seed)
-    full_hat = scenario.view.assemble(scenario.X_adv, x_hat)
-    guess = RandomGuessAttack(
-        scenario.view, distribution="uniform", rng=spec.seed
-    ).run(scenario.X_adv)
-    full_guess = scenario.view.assemble(scenario.X_adv, guess.x_target_hat)
-    structures = scenario.model.tree_structures()
-    counts, rg_counts = [], []
-    for i in range(scenario.X_pred_full.shape[0]):
-        for structure in structures:
-            counts.append(
-                reconstruction_cbr(
-                    structure,
-                    scenario.X_pred_full[i],
-                    full_hat[i],
-                    scenario.view.target_indices,
-                )
-            )
-            rg_counts.append(
-                reconstruction_cbr(
-                    structure,
-                    scenario.X_pred_full[i],
-                    full_guess[i],
-                    scenario.view.target_indices,
-                )
-            )
     return {
-        "grna_cbr": float(aggregate_cbr(counts)),
-        "rg_cbr": float(aggregate_cbr(rg_counts)),
+        "grna_cbr": report.metrics["cbr"],
+        "rg_cbr": report.metrics["rg_uniform_cbr"],
     }
 
 
@@ -562,22 +486,22 @@ def fig9_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     params = spec.kwargs
     pool_size = scale.n_samples // 2  # half the data is the prediction pool
     n_pred = max(16, int(pool_size * params["pool_fraction"]))
-    scenario = build_scenario(
-        params["dataset"],
-        "nn",
-        params["fraction"],
-        scale,
-        spec.seed,
-        n_predictions=n_pred,
-    )
-    x_hat = _run_grna(scenario, "nn", scale, spec.seed)
-    rg_u, rg_g = _random_guess_mses(
-        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="nn",
+            attack="grna",
+            target_fraction=params["fraction"],
+            n_predictions=n_pred,
+            scale=scale,
+            seed=spec.seed,
+            baselines=("uniform", "gaussian"),
+        )
     )
     return {
-        "grna_mse": float(mse_per_feature(x_hat, scenario.X_target)),
-        "rg_uniform_mse": rg_u,
-        "rg_gaussian_mse": rg_g,
+        "grna_mse": report.metrics["mse"],
+        "rg_uniform_mse": report.metrics["rg_uniform_mse"],
+        "rg_gaussian_mse": report.metrics["rg_gaussian_mse"],
     }
 
 
@@ -662,20 +586,27 @@ def fig10_units(
 def fig10_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """One panel: per-feature errors and correlation diagnostics."""
     params = spec.kwargs
-    scenario = build_scenario(
-        params["dataset"], params["model"], params["fraction"], scale, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model=params["model"],
+            attack="grna",
+            target_fraction=params["fraction"],
+            scale=scale,
+            seed=spec.seed,
+        )
     )
-    x_hat = _run_grna(scenario, params["model"], scale, spec.seed)
-    report = correlation_report(
+    scenario = report.scenario
+    diagnostics = correlation_report(
         scenario.X_adv,
         scenario.X_target,
         scenario.V,
-        feature_wise_mse(x_hat, scenario.X_target),
+        feature_wise_mse(report.result.x_target_hat, scenario.X_target),
     )
     return {
         "rows": [
             [int(feature_id), float(mse), float(corr_adv), float(corr_pred)]
-            for feature_id, mse, corr_adv, corr_pred in report.rows()
+            for feature_id, mse, corr_adv, corr_pred in diagnostics.rows()
         ]
     }
 
@@ -768,50 +699,75 @@ def fig11_units(
 
 
 def fig11_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
-    """One defended trial: rounding on LR, or dropout on NN."""
+    """One defended trial: rounding on LR, or dropout on NN.
+
+    The rounding defense rides the scenario API's defense stack; the
+    attacks automatically target the undefended released weights (the
+    facade unwraps output defenses) while V passes through the rounding.
+    """
     params = spec.kwargs
     if params["model"] == "lr":
         digits = params["digits"]
-        wrapper = (
-            (lambda m, d=digits: RoundedModel(m, d)) if digits is not None else None
+        defenses = (
+            (("rounding", {"digits": digits}),) if digits is not None else ()
         )
-        scenario = build_scenario(
-            params["dataset"], "lr", params["fraction"], scale, spec.seed,
-            model_wrapper=wrapper,
+        # Both attacks score the same deployment, so build it once and
+        # hand the prebuilt scenario to each run_scenario call.
+        stack = DefenseStack.from_specs(defenses)
+        shared = build_scenario(
+            params["dataset"],
+            "lr",
+            params["fraction"],
+            scale,
+            spec.seed,
+            defense_stack=stack if len(stack) else None,
         )
-        # Attacks see the undefended weights; only V passed through rounding.
-        inner = scenario.model.model if digits is not None else scenario.model
-        esa = EqualitySolvingAttack(inner, scenario.view)
-        esa_mse = mse_per_feature(
-            esa.run(scenario.X_adv, scenario.V).x_target_hat, scenario.X_target
+        esa_report = run_scenario(
+            ScenarioConfig(
+                dataset=params["dataset"],
+                model="lr",
+                attack="esa",
+                defenses=defenses,
+                target_fraction=params["fraction"],
+                scale=scale,
+                seed=spec.seed,
+                baselines=("uniform",),
+            ),
+            scenario=shared,
         )
-        grna_rng = spawn_rngs(spec.seed + 1, 1)[0]
-        grna = GenerativeRegressionNetwork(
-            inner, scenario.view, **grna_kwargs_from_scale(scale, grna_rng)
-        )
-        grna_mse = mse_per_feature(
-            grna.run(scenario.X_adv, scenario.V).x_target_hat, scenario.X_target
-        )
-        rg_u, _ = _random_guess_mses(
-            scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+        grna_report = run_scenario(
+            ScenarioConfig(
+                dataset=params["dataset"],
+                model="lr",
+                attack="grna",
+                defenses=defenses,
+                target_fraction=params["fraction"],
+                scale=scale,
+                seed=spec.seed,
+            ),
+            scenario=shared,
         )
         return {
-            "esa_mse": float(esa_mse),
-            "grna_mse": float(grna_mse),
-            "rg_uniform_mse": rg_u,
+            "esa_mse": esa_report.metrics["mse"],
+            "grna_mse": grna_report.metrics["mse"],
+            "rg_uniform_mse": esa_report.metrics["rg_uniform_mse"],
         }
-    scenario = build_scenario(
-        params["dataset"], "nn", params["fraction"], scale, spec.seed,
-        dropout=params["dropout"],
-    )
-    x_hat = _run_grna(scenario, "nn", scale, spec.seed)
-    rg_u, _ = _random_guess_mses(
-        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="nn",
+            attack="grna",
+            target_fraction=params["fraction"],
+            scale=scale,
+            seed=spec.seed,
+            model_params={"dropout": params["dropout"]},
+            baselines=("uniform",),
+        )
     )
     return {
         "esa_mse": float("nan"),
-        "grna_mse": float(mse_per_feature(x_hat, scenario.X_target)),
-        "rg_uniform_mse": rg_u,
+        "grna_mse": report.metrics["mse"],
+        "rg_uniform_mse": report.metrics["rg_uniform_mse"],
     }
 
 

@@ -22,12 +22,12 @@ from typing import Callable
 from repro.exceptions import ValidationError
 from repro.experiments import figures, tables
 from repro.experiments.batch import run_batch
-from repro.experiments.config import PRESETS
+from repro.config import PRESETS
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.store import ResultsStore
 
 #: Every registry entry accepts one positional ``scale`` argument
-#: (a preset name or a :class:`~repro.experiments.config.ScaleConfig`).
+#: (a preset name or a :class:`~repro.config.ScaleConfig`).
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table2": tables.table2_datasets,
     "table3": tables.table3_ablation,

@@ -35,7 +35,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Callable
 
 from repro.exceptions import ValidationError
-from repro.experiments.config import ScaleConfig
+from repro.config import ScaleConfig
 from repro.experiments.reporting import ExperimentResult
 from repro.utils.random import check_random_state
 

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks import GenerativeRegressionNetwork, RandomGuessAttack
+from repro.api import ScenarioConfig, run_scenario
+from repro.config import ScaleConfig, get_scale
 from repro.datasets import table2_rows
-from repro.experiments.common import build_scenario, grna_kwargs_from_scale
-from repro.experiments.config import ScaleConfig, get_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.spec import (
     ExperimentSpec,
@@ -24,8 +23,6 @@ from repro.experiments.spec import (
     group_payloads,
     register_experiment,
 )
-from repro.metrics import mse_per_feature
-from repro.utils.random import spawn_rngs
 
 
 # ----------------------------------------------------------------------
@@ -129,31 +126,40 @@ def table3_units(
 def table3_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
     """One ablated GRN trial (or one random-guess trial for case 6)."""
     params = spec.kwargs
-    scenario = build_scenario(
-        params["dataset"], "lr", params["target_fraction"], scale, spec.seed
-    )
     if params["case"] == 6:
-        guess = RandomGuessAttack(
-            scenario.view, distribution="uniform", rng=spec.seed
-        ).run(scenario.X_adv)
-        return {"mse": float(mse_per_feature(guess.x_target_hat, scenario.X_target))}
-    grna_rng = spawn_rngs(spec.seed + 1, 1)[0]
+        report = run_scenario(
+            ScenarioConfig(
+                dataset=params["dataset"],
+                model="lr",
+                attack="random_uniform",
+                target_fraction=params["target_fraction"],
+                scale=scale,
+                seed=spec.seed,
+            )
+        )
+        return {"mse": report.metrics["mse"]}
     use_generator = params["use_generator"]
-    attack = GenerativeRegressionNetwork(
-        scenario.model,
-        scenario.view,
-        use_adv_input=params["use_adv"],
-        use_noise=params["use_noise"],
-        variance_penalty=1.0 if params["use_constraint"] else 0.0,
-        use_generator=use_generator,
-        # Case 4 (no generator) is the paper's *naive regression*:
-        # unbounded free variables, no output squashing.
-        output_activation="sigmoid" if use_generator else "linear",
-        clip_to_unit=False if not use_generator else True,
-        **grna_kwargs_from_scale(scale, grna_rng),
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="lr",
+            attack="grna",
+            target_fraction=params["target_fraction"],
+            scale=scale,
+            seed=spec.seed,
+            attack_params={
+                "use_adv_input": params["use_adv"],
+                "use_noise": params["use_noise"],
+                "variance_penalty": 1.0 if params["use_constraint"] else 0.0,
+                "use_generator": use_generator,
+                # Case 4 (no generator) is the paper's *naive regression*:
+                # unbounded free variables, no output squashing.
+                "output_activation": "sigmoid" if use_generator else "linear",
+                "clip_to_unit": False if not use_generator else True,
+            },
+        )
     )
-    result = attack.run(scenario.X_adv, scenario.V)
-    return {"mse": float(mse_per_feature(result.x_target_hat, scenario.X_target))}
+    return {"mse": report.metrics["mse"]}
 
 
 def table3_aggregate(

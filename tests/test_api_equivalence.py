@@ -1,0 +1,187 @@
+"""Refactor-equivalence harness: facade-based runners == legacy skeletons.
+
+PR 1's store tests prove serial == parallel == resumed for the decomposed
+runners; this module extends that harness one level up and proves the
+scenario-API refactor itself changed no numbers. Each ``legacy_*``
+function below is the pre-refactor ``figN_run_unit`` body, verbatim —
+direct attack construction, hand-wired rng streams — and the tests assert
+its payload is *bit-identical* (``==`` on floats, not allclose) to what
+the refactored runner produces through :func:`repro.api.run_scenario`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    EqualitySolvingAttack,
+    GenerativeRegressionNetwork,
+    PathRestrictionAttack,
+    RandomGuessAttack,
+    attack_random_forest,
+    random_path,
+)
+from repro.config import ScaleConfig
+from repro.experiments.common import build_scenario, grna_kwargs_from_scale
+from repro.experiments.figures import (
+    fig5_run_unit,
+    fig5_units,
+    fig6_run_unit,
+    fig6_units,
+    fig7_run_unit,
+    fig7_units,
+)
+from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr
+from repro.models import RandomForestDistiller
+from repro.utils.random import spawn_rngs
+
+TINY = ScaleConfig(
+    name="tiny-eq",
+    n_samples=200,
+    n_predictions=60,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=4,
+    mlp_hidden=(12,),
+    mlp_epochs=2,
+    rf_trees=3,
+    rf_depth=2,
+    dt_depth=4,
+    grna_hidden=(16,),
+    grna_epochs=2,
+    grna_batch_size=32,
+    distiller_hidden=(24,),
+    distiller_dummy=150,
+    distiller_epochs=2,
+)
+
+
+def _random_guess_mses(view, X_adv, X_target, rng):
+    """The historical fig5/fig7 baseline helper, verbatim."""
+    uniform = RandomGuessAttack(view, distribution="uniform", rng=rng).run(X_adv)
+    gaussian = RandomGuessAttack(view, distribution="gaussian", rng=rng).run(X_adv)
+    return (
+        float(mse_per_feature(uniform.x_target_hat, X_target)),
+        float(mse_per_feature(gaussian.x_target_hat, X_target)),
+    )
+
+
+def _legacy_run_grna(scenario, model_kind, scale, trial_seed):
+    """The historical ``figures._run_grna``, verbatim."""
+    grna_rng, distill_rng, dummy_rng = spawn_rngs(trial_seed + 1, 3)
+    kwargs = grna_kwargs_from_scale(scale, grna_rng)
+    if model_kind == "rf":
+        distiller = RandomForestDistiller(
+            hidden_sizes=scale.distiller_hidden,
+            n_dummy=scale.distiller_dummy,
+            epochs=scale.distiller_epochs,
+            rng=distill_rng,
+        )
+        result, _ = attack_random_forest(
+            scenario.model,
+            scenario.view,
+            scenario.X_adv,
+            scenario.V,
+            distiller=distiller,
+            grna_kwargs=kwargs,
+            rng=dummy_rng,
+        )
+        return result.x_target_hat
+    attack = GenerativeRegressionNetwork(scenario.model, scenario.view, **kwargs)
+    return attack.run(scenario.X_adv, scenario.V).x_target_hat
+
+
+def legacy_fig5_run_unit(spec, scale):
+    """Pre-refactor fig5_run_unit, verbatim."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "lr", params["fraction"], scale, spec.seed
+    )
+    attack = EqualitySolvingAttack(scenario.model, scenario.view)
+    result = attack.run(scenario.X_adv, scenario.V)
+    rg_u, rg_g = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    return {
+        "esa_mse": float(mse_per_feature(result.x_target_hat, scenario.X_target)),
+        "rg_uniform_mse": rg_u,
+        "rg_gaussian_mse": rg_g,
+        "exact": bool(attack.is_exact),
+    }
+
+
+def legacy_fig6_run_unit(spec, scale):
+    """Pre-refactor fig6_run_unit, verbatim."""
+    params = spec.kwargs
+    scenario = build_scenario(
+        params["dataset"], "dt", params["fraction"], scale, spec.seed
+    )
+    structure = scenario.model.tree_structure()
+    attack = PathRestrictionAttack(structure, scenario.view)
+    attack_rng, guess_rng = spawn_rngs(spec.seed, 2)
+    labels = np.argmax(scenario.V, axis=1)
+    counts, rg_counts, restricted = [], [], []
+    for i in range(scenario.X_adv.shape[0]):
+        result = attack.run(scenario.X_adv[i], int(labels[i]), rng=attack_rng)
+        counts.append(
+            path_cbr(
+                structure,
+                result.selected_path,
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+        )
+        rg_counts.append(
+            path_cbr(
+                structure,
+                random_path(structure, guess_rng),
+                scenario.X_pred_full[i],
+                scenario.view.target_indices,
+            )
+        )
+        restricted.append(float(result.n_paths_restricted / result.n_paths_total))
+    return {
+        "pra_cbr": float(aggregate_cbr(counts)),
+        "rg_cbr": float(aggregate_cbr(rg_counts)),
+        "restricted": restricted,
+    }
+
+
+def legacy_fig7_run_unit(spec, scale):
+    """Pre-refactor fig7_run_unit, verbatim."""
+    params = spec.kwargs
+    payload = {}
+    scenario = None
+    for model_kind in params["models"]:
+        scenario = build_scenario(
+            params["dataset"], model_kind, params["fraction"], scale, spec.seed
+        )
+        x_hat = _legacy_run_grna(scenario, model_kind, scale, spec.seed)
+        payload[f"grna_{model_kind}_mse"] = float(
+            mse_per_feature(x_hat, scenario.X_target)
+        )
+    rg_u, rg_g = _random_guess_mses(
+        scenario.view, scenario.X_adv, scenario.X_target, spec.seed
+    )
+    payload["rg_uniform_mse"] = rg_u
+    payload["rg_gaussian_mse"] = rg_g
+    return payload
+
+
+class TestRefactorEquivalence:
+    """fig5/fig7 (and fig6) payloads are bit-identical across the refactor."""
+
+    @pytest.mark.parametrize("dataset", ["bank", "drive"])
+    def test_fig5_bit_identical(self, dataset):
+        for unit in fig5_units(TINY, datasets=(dataset,), seed=5):
+            assert fig5_run_unit(unit, TINY) == legacy_fig5_run_unit(unit, TINY)
+
+    def test_fig6_bit_identical(self):
+        for unit in fig6_units(TINY, datasets=("bank",), seed=6):
+            assert fig6_run_unit(unit, TINY) == legacy_fig6_run_unit(unit, TINY)
+
+    def test_fig7_bit_identical_all_models(self):
+        """One unit spans LR, RF (distilled), and NN — the full GRNA surface."""
+        for unit in fig7_units(
+            TINY, datasets=("bank",), models=("lr", "rf", "nn"), seed=7
+        ):
+            assert fig7_run_unit(unit, TINY) == legacy_fig7_run_unit(unit, TINY)
