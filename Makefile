@@ -1,11 +1,15 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke docs-check examples-smoke
+.PHONY: test smoke docs-check examples-smoke bench-smoke
 
 ## test: run the full test suite (tier-1 gate)
 test:
 	$(PY) -m pytest -x -q
+
+## bench-smoke: serving-layer throughput check at tiny scale (regression-gated)
+bench-smoke:
+	$(PY) benchmarks/bench_service.py --tiny
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -26,9 +30,12 @@ docs-check:
 	grep -q -- '--store-dir' README.md
 	grep -q 'run_scenario' README.md
 	grep -q 'repro-experiments' README.md
+	grep -q 'query_budget' README.md
 	grep -q 'trial_units' docs/architecture.md
 	grep -q 'run_scenario' docs/architecture.md
 	grep -q 'DefenseStack' docs/architecture.md
+	grep -q 'PredictionService' docs/architecture.md
+	grep -q 'on_query' docs/architecture.md
 	$(PY) -m repro.experiments --help > /dev/null
 	$(PY) -c "import repro.experiments as e; assert e.__doc__ and 'run_batch' in e.__doc__; \
 	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"

@@ -1,0 +1,173 @@
+"""Throughput benchmark for the PredictionService query boundary.
+
+Measures what the batched serving layer buys over per-sample querying —
+the hot-path claim of the serving redesign — plus what the response
+cache buys on replayed workloads::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # default
+    PYTHONPATH=src python benchmarks/bench_service.py --tiny     # CI smoke
+
+Modes benchmarked against one deployed model per kind:
+
+- ``per-sample``: one ``query([i])`` call per sample (the anti-pattern
+  the service exists to replace);
+- ``batched(64)``: chunked rounds at the canonical batch shape;
+- ``one-round``: the whole workload in a single vectorized round;
+- ``cached replay``: the same workload re-queried with the cache warm.
+
+Exits non-zero if batching fails to beat per-sample querying, so the CI
+smoke run is a regression gate, not just a printout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.api import make_model
+from repro.config import ScaleConfig
+from repro.federated import FeaturePartition, train_vertical_model
+from repro.datasets import load_dataset
+from repro.serving import PredictionService
+from repro.utils.random import spawn_rngs
+
+TINY = ScaleConfig(
+    name="bench-tiny",
+    n_samples=400,
+    n_predictions=120,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=3,
+    mlp_hidden=(16,),
+    mlp_epochs=2,
+    rf_trees=5,
+    rf_depth=3,
+    dt_depth=4,
+    grna_hidden=(16,),
+    grna_epochs=2,
+    grna_batch_size=32,
+    distiller_hidden=(32,),
+    distiller_dummy=200,
+    distiller_epochs=2,
+)
+
+DEFAULT = ScaleConfig(
+    name="bench-default",
+    n_samples=4000,
+    n_predictions=1500,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=10,
+    mlp_hidden=(64, 32),
+    mlp_epochs=4,
+    rf_trees=20,
+    rf_depth=3,
+    dt_depth=5,
+    grna_hidden=(32,),
+    grna_epochs=2,
+    grna_batch_size=64,
+    distiller_hidden=(64,),
+    distiller_dummy=500,
+    distiller_epochs=2,
+)
+
+
+def deploy(model_kind: str, scale: ScaleConfig, **service_kwargs) -> PredictionService:
+    """Train one VFL deployment and wrap it in a service."""
+    dataset = load_dataset("bank", n_samples=scale.n_samples, rng=0)
+    half = dataset.n_samples // 2
+    partition = FeaturePartition.adversary_target(dataset.n_features, 0.4, rng=0)
+    model = make_model(model_kind, scale, spawn_rngs(0, 1)[0])
+    vfl = train_vertical_model(
+        model,
+        dataset.X[:half],
+        dataset.y[:half],
+        dataset.X[half:],
+        dataset.y[half:],
+        partition,
+    )
+    return PredictionService(vfl, **service_kwargs)
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-N wall-clock seconds (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_model(model_kind: str, scale: ScaleConfig, repeats: int) -> dict[str, float]:
+    """Seconds per mode for one model kind's query workload."""
+    n = scale.n_predictions
+    indices = np.arange(n)
+    results: dict[str, float] = {}
+
+    # Unbatched deployment: each query([i]) is a true 1-row protocol
+    # round (no canonical-shape padding inflating the baseline).
+    per_sample = deploy(model_kind, scale)
+    results["per-sample"] = timed(
+        lambda: [per_sample.query([i]) for i in indices], repeats
+    )
+
+    batched = deploy(model_kind, scale, max_batch=64)
+    results["batched(64)"] = timed(lambda: batched.query(indices), repeats)
+
+    one_round = deploy(model_kind, scale)
+    results["one-round"] = timed(lambda: one_round.query(indices), repeats)
+
+    cached = deploy(model_kind, scale, cache=True)
+    cached.query(indices)  # warm
+    results["cached replay"] = timed(lambda: cached.query(indices), repeats)
+    return results
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke scale (seconds, small models)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=["lr", "nn", "dt", "rf"],
+        help="model kinds to benchmark",
+    )
+    args = parser.parse_args(argv)
+    scale = TINY if args.tiny else DEFAULT
+
+    n = scale.n_predictions
+    print(f"# PredictionService throughput — {n} queries/workload, scale={scale.name}")
+    header = f"{'model':<6} {'mode':<14} {'seconds':>10} {'queries/s':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    ok = True
+    for model_kind in args.models:
+        results = bench_model(model_kind, scale, args.repeats)
+        baseline = results["per-sample"]
+        for mode, seconds in results.items():
+            rate = n / seconds if seconds > 0 else float("inf")
+            speedup = baseline / seconds if seconds > 0 else float("inf")
+            print(
+                f"{model_kind:<6} {mode:<14} {seconds:>10.4f} {rate:>12.0f} "
+                f"{speedup:>8.1f}x"
+            )
+        if results["batched(64)"] >= baseline:
+            ok = False
+            print(f"!! {model_kind}: batched is not faster than per-sample")
+    if not ok:
+        print("FAIL: batching regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,6 +93,28 @@ def main() -> None:
     print(f"  GRNA MSE       : {report.metrics['mse']:.4f}")
     print(f"  random-guess   : {report.metrics['rg_uniform_mse']:.4f}")
     print(f"  final loss     : {report.result.info['final_loss']:.5f}")
+    print(f"  queries used   : {report.queries_used} "
+          "(every prediction the protocol revealed was metered)\n")
+
+    # ------------------------------------------------------------------
+    # The serving boundary — the same attack against a metered deployment
+    # that only answers half as many queries, truncating at the budget.
+    # ------------------------------------------------------------------
+    budget = SCALE.n_predictions // 2
+    report = run_scenario(
+        ScenarioConfig(
+            dataset="bank", model="nn", attack="grna",
+            target_fraction=0.4, scale=SCALE, seed=0,
+            baselines=("uniform",),
+            query_budget=budget, batch_size=32,
+            on_budget_exhausted="truncate",
+        )
+    )
+    print(f"[GRNA / neural network, query_budget={budget}]")
+    print(f"  queries used   : {report.queries_used} (ledger stopped serving)")
+    print(f"  GRNA MSE       : {report.metrics['mse']:.4f} "
+          "(trained on the affordable prefix)")
+    print(f"  random-guess   : {report.metrics['rg_uniform_mse']:.4f}")
 
 
 if __name__ == "__main__":

@@ -35,11 +35,12 @@ from repro import (
     metrics,
     models,
     nn,
+    serving,
     tensor,
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
@@ -51,6 +52,7 @@ __all__ = [
     "metrics",
     "models",
     "nn",
+    "serving",
     "tensor",
     "ReproError",
     "__version__",

@@ -26,7 +26,11 @@ Layers (lowest first):
 - :mod:`repro.api.attacks` — the unified :class:`ScenarioAttack`
   protocol (``prepare(scenario)`` / ``run(x_adv, v) -> AttackResult``)
   and the ``ATTACKS`` registry;
-- :mod:`repro.api.scenario` — :func:`run_scenario` tying it together.
+- :mod:`repro.api.scenario` — :func:`run_scenario` tying it together,
+  serving every deployment through a metered
+  :class:`~repro.serving.PredictionService`
+  (``ScenarioConfig(query_budget=..., batch_size=..., cache=...)``) so
+  each :class:`ScenarioReport` states its ``queries_used``.
 
 Invalid combinations (ESA on a tree, verification on an NN, ...) raise
 :class:`~repro.exceptions.IncompatibleScenarioError` naming the violated
@@ -47,6 +51,7 @@ from repro.api.attacks import (
     RandomBaselineScenarioAttack,
     ScenarioAttack,
     grna_kwargs_from_scale,
+    released_model,
 )
 from repro.api.scenario import (
     ScenarioConfig,
@@ -55,6 +60,7 @@ from repro.api.scenario import (
     build_scenario,
     run_scenario,
 )
+from repro.serving import PredictionService, QueryBudgetExceededError, QueryLedger
 
 __all__ = [
     "Registry",
@@ -75,9 +81,13 @@ __all__ = [
     "GrnaScenarioAttack",
     "RandomBaselineScenarioAttack",
     "grna_kwargs_from_scale",
+    "released_model",
     "ScenarioConfig",
     "ScenarioReport",
     "VFLScenario",
     "build_scenario",
     "run_scenario",
+    "PredictionService",
+    "QueryBudgetExceededError",
+    "QueryLedger",
 ]

@@ -7,12 +7,18 @@ different constructor signatures. The scenario API unifies them behind
 :class:`ScenarioAttack`:
 
 ``prepare(scenario, scale=..., seed=...)``
-    Bind the attack to a built scenario: resolve the released (unwrapped)
-    model, derive the attack's random streams from the scenario seed, and
+    Bind the attack to a built scenario: resolve the released model
+    **through the scenario's serving boundary**
+    (:meth:`~repro.serving.PredictionService.release_model`, which peels
+    output-defense wrappers exactly as §III-B releases plaintext θ),
+    derive the attack's random streams from the scenario seed, and
     precompute whatever is prediction-independent.
 ``run(x_adv, v) -> AttackResult``
     Execute Eqn 2's ``A(x_adv, v, θ)`` on the accumulated predictions and
-    return a common :class:`~repro.attacks.base.AttackResult`.
+    return a common :class:`~repro.attacks.base.AttackResult`. The
+    ``v`` matrix is what the metered service accumulated (and charged to
+    this attack's ledger consumer name); attacks never touch
+    ``VerticalFLModel.predict`` directly.
 
 PRA's bespoke per-sample :class:`~repro.attacks.pra.PathRestrictionResult`
 is folded into the common result type: ``x_target_hat`` carries interval
@@ -55,6 +61,7 @@ __all__ = [
     "GrnaScenarioAttack",
     "RandomBaselineScenarioAttack",
     "grna_kwargs_from_scale",
+    "released_model",
 ]
 
 #: Feature-inference attacks, keyed by paper acronym (plus baselines).
@@ -69,6 +76,21 @@ def grna_kwargs_from_scale(scale: ScaleConfig, rng) -> dict:
         "batch_size": scale.grna_batch_size,
         "rng": rng,
     }
+
+
+def released_model(scenario):
+    """The plaintext model θ an attack legitimately receives (§III-B).
+
+    Resolved through the scenario's serving boundary when one exists —
+    the :class:`~repro.serving.PredictionService` is the release point
+    for model parameters just as it is for predictions — falling back to
+    unwrapping the scenario's served model for hand-built scenarios that
+    never went through :func:`repro.api.build_scenario`.
+    """
+    service = getattr(scenario, "service", None)
+    if service is not None:
+        return service.release_model()
+    return unwrap_model(scenario.model)
 
 
 class ScenarioAttack:
@@ -116,7 +138,7 @@ class EsaScenarioAttack(ScenarioAttack):
         self._attack: EqualitySolvingAttack | None = None
 
     def prepare(self, scenario, *, scale=None, seed: int = 0) -> "EsaScenarioAttack":
-        model = unwrap_model(scenario.model)
+        model = released_model(scenario)
         if not hasattr(model, "class_weight_matrix"):
             raise IncompatibleScenarioError(
                 f"attack 'esa' cannot target {type(model).__name__}: "
@@ -159,7 +181,7 @@ class PraScenarioAttack(ScenarioAttack):
         self._seed = 0
 
     def prepare(self, scenario, *, scale=None, seed: int = 0) -> "PraScenarioAttack":
-        model = unwrap_model(scenario.model)
+        model = released_model(scenario)
         exporter = getattr(model, "tree_structure", None)
         if exporter is None:
             raise IncompatibleScenarioError(
@@ -217,6 +239,7 @@ class PraScenarioAttack(ScenarioAttack):
                 "n_paths_total": int(self.structure.n_prediction_paths()),
                 "intervals": intervals,
                 "n_failed": n_failed,
+                "n_predictions_used": int(x_adv.shape[0]),
             },
         )
 
@@ -258,7 +281,7 @@ class GrnaScenarioAttack(ScenarioAttack):
                 "the scenario's scale; pass scale=... to prepare()"
             )
         self._scale = get_scale(scale)
-        self._model = unwrap_model(scenario.model)
+        self._model = released_model(scenario)
         self._view = scenario.view
         self._seed = int(seed)
         return self

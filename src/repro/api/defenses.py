@@ -14,6 +14,12 @@ defenses intervene:
     Wrapping composes, so ``DefenseStack(["rounding", "noise"])`` serves
     ``noise(round(v))`` — the §VII combination the old one-off
     ``RoundedModel``/``NoisyModel`` wrappers could not express cleanly.
+``on_query(V, context)``
+    *Online serving*: intervene on each batch of confidence scores as the
+    :class:`~repro.serving.PredictionService` computes it — per-query
+    noise, rate limiting, and duplicate-query auditing all act here,
+    where they can see *who* is asking and *how often*, which the static
+    ``wrap`` hook cannot.
 ``release_mask(scenario)``
     *Post-processing verification*: simulate the cheap single-prediction
     attacks against each pending output and withhold the outputs whose
@@ -21,7 +27,8 @@ defenses intervene:
 
 A :class:`DefenseStack` folds any number of defenses through those hooks
 in list order. Defenses are registered by string key in :data:`DEFENSES`
-(``"rounding"``, ``"noise"``, ``"screening"``, ``"verification"``).
+(``"rounding"``, ``"noise"``, ``"screening"``, ``"verification"``, plus
+the online trio ``"query_noise"``, ``"rate_limit"``, ``"query_audit"``).
 """
 
 from __future__ import annotations
@@ -33,14 +40,19 @@ import numpy as np
 
 from repro.api.registry import Registry
 from repro.defenses.base import ModelWrapper, unwrap_model
-from repro.defenses.noise import NoisyModel
+from repro.defenses.noise import NoisyModel, noise_confidence_scores
 from repro.defenses.rounding import RoundedModel
 from repro.defenses.screening import screen_collaboration
 from repro.defenses.verification import LeakageVerifier
-from repro.exceptions import IncompatibleScenarioError, ScenarioError
+from repro.exceptions import (
+    IncompatibleScenarioError,
+    QueryBudgetExceededError,
+    ScenarioError,
+)
 from repro.federated.partition import AdversaryView, FeaturePartition
 from repro.models.base import BaseClassifier
 from repro.models.logistic import LogisticRegression
+from repro.utils.random import check_random_state
 from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = [
@@ -68,6 +80,11 @@ class Defense:
     #: registered model, including ones registered after import.
     compatible_models: "tuple[str, ...] | None" = None
     constraint: str = "applies to every model kind"
+    #: Set True when ``on_query`` consumes sample-content fingerprints;
+    #: the serving layer then computes them once per chunk and passes
+    #: them via ``QueryContext.sample_hashes`` instead of every defense
+    #: re-assembling and re-hashing the joint rows itself.
+    wants_sample_hashes: bool = False
 
     def screen(
         self,
@@ -85,6 +102,16 @@ class Defense:
     ) -> BaseClassifier:
         """Output-perturbation hook: may wrap the served model."""
         return model
+
+    def on_query(self, V: np.ndarray, context) -> np.ndarray:
+        """Online serving hook: perturb or gate one freshly computed batch.
+
+        ``context`` is a :class:`~repro.serving.QueryContext` naming the
+        consumer, the served sample ids, and the service (whose ledger
+        and sample hashes the defense may consult). Raising here refuses
+        the batch; returning a modified matrix perturbs it.
+        """
+        return V
 
     def release_mask(self, scenario) -> "np.ndarray | None":
         """Post-processing hook: boolean mask of outputs safe to release.
@@ -256,6 +283,124 @@ class VerificationDefense(Defense):
         return mask
 
 
+@DEFENSES.register("query_noise")
+class QueryNoiseDefense(Defense):
+    """Fresh Laplace/Gaussian noise per served query (online ``noise``).
+
+    Unlike the static ``noise`` wrapper — whose perturbation is fixed by
+    the model wrapper's stream regardless of who asks — this draws at
+    serving time, so re-querying the same sample yields a *different*
+    perturbation and averaging the noise away costs query budget. Noise
+    is drawn from the defense's own stream when one is configured,
+    otherwise from the service's defense stream, otherwise a fixed seed —
+    never OS entropy.
+    """
+
+    name = "query_noise"
+
+    def __init__(
+        self,
+        scale: float = 0.01,
+        kind: str = "laplace",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.scale = check_in_range(scale, name="scale", low=0.0)
+        self.kind = kind
+        self.rng = check_random_state(rng) if rng is not None else None
+
+    def on_query(self, V: np.ndarray, context) -> np.ndarray:
+        rng = self.rng
+        if rng is None:
+            rng = context.service.rng
+        if rng is None:
+            rng = self.rng = check_random_state(0)
+        return noise_confidence_scores(V, self.scale, kind=self.kind, rng=rng)
+
+
+@DEFENSES.register("rate_limit")
+class RateLimitDefense(Defense):
+    """Refuse service once the deployment has answered ``max_queries``.
+
+    The server-side sibling of the adversary-side ``query_budget``: the
+    ledger still meters per consumer, but the cap here is the defender's
+    policy and exceeding it raises
+    :class:`~repro.exceptions.QueryBudgetExceededError` out of the
+    serving layer regardless of what the attack budgeted for.
+    """
+
+    name = "rate_limit"
+
+    def __init__(self, max_queries: int = 1000) -> None:
+        self.max_queries = check_positive_int(max_queries, name="max_queries")
+
+    def on_query(self, V: np.ndarray, context) -> np.ndarray:
+        used = context.service.ledger.queries_used
+        if used > self.max_queries:
+            raise QueryBudgetExceededError(
+                f"rate limit: deployment served {used} queries, exceeding the "
+                f"defender's cap of {self.max_queries} (consumer "
+                f"{context.consumer!r})"
+            )
+        return V
+
+
+@DEFENSES.register("query_audit")
+class QueryAuditDefense(Defense):
+    """Duplicate-query auditing over sample-content fingerprints.
+
+    Records how often each distinct joint sample (by
+    :meth:`~repro.federated.VerticalFLModel.sample_hashes` fingerprint)
+    has been served; repeated queries for the same content are the
+    signature of an adversary averaging out a noise defense. With
+    ``max_repeats`` set, a sample served more than that many times is
+    refused with :class:`~repro.exceptions.QueryBudgetExceededError`.
+    The tally is readable on the instance (``seen``, ``duplicates``) and
+    lands in the scenario's ``meta`` via the audit report.
+    """
+
+    name = "query_audit"
+    wants_sample_hashes = True
+
+    def __init__(self, max_repeats: "int | None" = None) -> None:
+        self.max_repeats = (
+            None if max_repeats is None
+            else check_positive_int(max_repeats, name="max_repeats")
+        )
+        self.seen: dict[str, int] = {}
+        self.duplicates = 0
+
+    def on_query(self, V: np.ndarray, context) -> np.ndarray:
+        # Audit everything the chunk releases: freshly computed rows AND
+        # cache replays (a replayed duplicate is exactly the averaging
+        # signature this defense exists to catch). The service hands over
+        # the fingerprints it already computed for its cache; without a
+        # cache they are derived here.
+        hashes = context.sample_hashes
+        if hashes is None:
+            indices = np.concatenate(
+                [context.sample_indices, context.replayed_indices]
+            )
+            hashes = (
+                context.service.vfl.sample_hashes(indices) if indices.size else []
+            )
+        for digest in hashes:
+            count = self.seen.get(digest, 0) + 1
+            self.seen[digest] = count
+            if count > 1:
+                self.duplicates += 1
+            if self.max_repeats is not None and count > self.max_repeats:
+                raise QueryBudgetExceededError(
+                    f"query audit: sample {digest[:12]}... requested {count} "
+                    f"times, exceeding max_repeats={self.max_repeats} "
+                    f"(consumer {context.consumer!r})"
+                )
+        return V
+
+    def report(self) -> dict[str, int]:
+        """Audit summary: distinct samples seen and duplicate requests."""
+        return {"distinct_samples": len(self.seen), "duplicates": self.duplicates}
+
+
 class DefenseStack:
     """An ordered composition of defenses applied through every hook.
 
@@ -345,6 +490,12 @@ class DefenseStack:
         for defense in self.defenses:
             model = defense.wrap(model, rng)
         return model
+
+    def on_query(self, V: np.ndarray, context) -> np.ndarray:
+        """Fold the online hooks over one freshly computed response batch."""
+        for defense in self.defenses:
+            V = defense.on_query(V, context)
+        return V
 
     def apply_release_filter(self, scenario):
         """Drop withheld outputs from the scenario's accumulated predictions.

@@ -10,6 +10,7 @@ enumerates the valid choices, so a typo never surfaces as a bare
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Iterator
 
 from repro.exceptions import ScenarioError
@@ -66,6 +67,27 @@ class Registry:
     def names(self) -> list[str]:
         """Registered keys, in registration order."""
         return list(self._entries)
+
+    def describe(self) -> dict[str, str]:
+        """One-line description per key, in registration order.
+
+        Sourced from the entry's ``description`` attribute (dataset
+        specs), else the first docstring line of the entry (classes,
+        builder functions) or of the callable a ``functools.partial``
+        wraps. Entries with neither get an empty string — the CLI's
+        ``list`` subcommand prints them all.
+        """
+        described: dict[str, str] = {}
+        for key, entry in self._entries.items():
+            text = getattr(entry, "description", None)
+            if not isinstance(text, str):
+                # A partial's own __doc__ is functools boilerplate; read
+                # the wrapped callable instead.
+                target = entry.func if isinstance(entry, functools.partial) else entry
+                doc = getattr(target, "__doc__", None)
+                text = doc.strip().splitlines()[0] if doc else ""
+            described[key] = text
+        return described
 
     def __contains__(self, key: object) -> bool:
         return key in self._entries

@@ -31,6 +31,8 @@ changing a single published number.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,6 +55,7 @@ from repro.federated import (
 from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr, reconstruction_cbr
 from repro.models import BaseClassifier
 from repro.nn.data import train_test_split
+from repro.serving import PredictionService
 from repro.utils.random import check_random_state, spawn_rngs
 
 __all__ = [
@@ -82,11 +85,16 @@ class VFLScenario:
         the accumulated prediction samples (``X_target`` is used only for
         scoring).
     V:
-        Confidence scores the protocol revealed for those samples.
+        Confidence scores the serving layer revealed for those samples.
     X_pred_full:
         The full-width prediction samples (evaluation only, e.g. for CBR).
     meta:
         Defense bookkeeping (screening report, release mask, ...).
+    service:
+        The deployment's :class:`~repro.serving.PredictionService` — the
+        metered query boundary the accumulated ``V`` came through, and
+        the attack's only route to further predictions or the released
+        model.
     """
 
     dataset: Dataset
@@ -99,6 +107,7 @@ class VFLScenario:
     X_pred_full: np.ndarray
     y_pred: np.ndarray
     meta: dict[str, Any] = field(default_factory=dict)
+    service: "PredictionService | None" = None
 
 
 def build_scenario(
@@ -113,6 +122,11 @@ def build_scenario(
     model_wrapper=None,
     model_params: dict[str, Any] | None = None,
     defense_stack: DefenseStack | None = None,
+    query_budget: int | None = None,
+    batch_size: int | None = None,
+    cache: bool = False,
+    on_budget_exhausted: str = "raise",
+    consumer: str = "scenario",
 ) -> VFLScenario:
     """Construct one complete attack scenario.
 
@@ -138,9 +152,23 @@ def build_scenario(
         Extra keyword overrides for the model builder.
     defense_stack:
         Composable §VII defenses: screening runs before training, output
-        wrappers before serving, verification after prediction. When no
-        stack is given the construction path (and its random-stream
-        consumption) is identical to the historical undefended skeleton.
+        wrappers before serving, online hooks while serving, verification
+        after prediction. When no stack is given the construction path
+        (and its random-stream consumption) is identical to the
+        historical undefended skeleton.
+    query_budget, batch_size, cache, on_budget_exhausted:
+        Serving-layer knobs, forwarded to the deployment's
+        :class:`~repro.serving.PredictionService`: an optional cap on
+        chargeable prediction queries, the per-protocol-round batch
+        size, response memoization by sample hash, and whether an
+        exhausted budget raises
+        (:class:`~repro.exceptions.QueryBudgetExceededError`) or
+        truncates the accumulated pool. The defaults (unlimited, one
+        round, no cache) accumulate bit-identically to the historical
+        direct ``vfl.predict`` path.
+    consumer:
+        Ledger name the accumulation is charged to (the facade passes
+        the attack's registry key).
     """
     n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
     streams = spawn_rngs(seed, n_streams)
@@ -181,7 +209,24 @@ def build_scenario(
     picked = check_random_state(pick_rng).choice(
         X_pool.shape[0], size=n_pred, replace=False
     )
-    V = vfl.predict(picked)
+    service = PredictionService(
+        vfl,
+        defense_stack=defense_stack,
+        query_budget=query_budget,
+        max_batch=batch_size,
+        cache=cache,
+        rng=defense_rng,
+        exhaustion=on_budget_exhausted,
+    )
+    V = service.query(picked, consumer=consumer)
+    if V.shape[0] == 0:
+        raise ScenarioError(
+            "the query budget allowed no predictions at all; nothing to attack"
+        )
+    if V.shape[0] < picked.size:
+        # Truncate mode: the budget bound mid-accumulation; the scenario
+        # holds exactly the predictions the adversary could afford.
+        picked = picked[: V.shape[0]]
     X_pred_full = X_pool[picked]
     X_adv, X_target = view.split(X_pred_full)
     scenario = VFLScenario(
@@ -195,6 +240,7 @@ def build_scenario(
         X_pred_full=X_pred_full,
         y_pred=y_pool[picked],
         meta=meta,
+        service=service,
     )
     if defense_rng is not None:
         scenario = defense_stack.apply_release_filter(scenario)
@@ -210,6 +256,15 @@ class ScenarioConfig:
     :data:`~repro.api.datasets.DATASETS`, and
     :data:`~repro.api.defenses.DEFENSES` — so a config is fully
     serializable and any typo fails fast with the valid choices listed.
+
+    The serving knobs meter the deployment's
+    :class:`~repro.serving.PredictionService`: ``query_budget`` caps how
+    many predictions the attack may accumulate (``None`` = unlimited, the
+    bit-identical historical default), ``batch_size`` bounds each
+    protocol round, ``cache`` memoizes responses by sample hash, and
+    ``on_budget_exhausted`` chooses between a clean
+    :class:`~repro.exceptions.QueryBudgetExceededError` (``"raise"``) and
+    attacking whatever prefix the budget allowed (``"truncate"``).
     """
 
     dataset: str
@@ -224,6 +279,10 @@ class ScenarioConfig:
     attack_params: dict[str, Any] = field(default_factory=dict)
     baselines: tuple[str, ...] = ()
     compute_cbr: bool = False
+    query_budget: int | None = None
+    batch_size: int | None = None
+    cache: bool = False
+    on_budget_exhausted: str = "raise"
 
 
 @dataclass
@@ -236,33 +295,162 @@ class ScenarioReport:
         The config that produced this report.
     scenario:
         The built scenario (model, view, accumulated predictions, ground
-        truth) for downstream analysis.
+        truth) for downstream analysis. ``None`` on a report restored
+        from JSON — array-heavy state is not persisted.
     result:
-        The attack's :class:`~repro.attacks.base.AttackResult`.
+        The attack's :class:`~repro.attacks.base.AttackResult`
+        (``None`` on a restored report).
     metrics:
         Scored outcomes: ``"mse"`` whenever the attack produced point
         estimates, ``"pra_cbr"``/``"restricted_fractions"`` for PRA,
         ``"cbr"`` when ``compute_cbr`` was requested on a tree model, and
         one ``"rg_<name>_..."`` entry per requested baseline.
+    queries_used:
+        Chargeable prediction queries the deployment's ledger recorded
+        for this scenario — what the attack *cost* at the serving
+        boundary.
     """
 
     config: ScenarioConfig
-    scenario: VFLScenario
-    result: AttackResult
+    scenario: "VFLScenario | None"
+    result: "AttackResult | None"
     metrics: dict[str, Any]
+    queries_used: int = 0
 
     def summary(self) -> str:
         """One-paragraph human-readable digest (used by the examples)."""
+        details = []
+        if self.scenario is not None:
+            details.append(f"d_target={self.scenario.view.d_target}")
+        details.append(f"defenses={list(self.config.defenses) or 'none'}")
+        details.append(f"queries={self.queries_used}")
         parts = [
             f"{self.config.attack} on {self.config.model}/{self.config.dataset}"
-            f" (d_target={self.scenario.view.d_target}"
-            f", defenses={list(self.config.defenses) or 'none'})"
+            f" ({', '.join(details)})"
         ]
         for key in sorted(self.metrics):
             value = self.metrics[key]
             if isinstance(value, float):
                 parts.append(f"{key}={value:.4f}")
         return "; ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Persistence (JSONL-store friendly)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready dict: config + metrics + queries_used.
+
+        Drops the array-heavy ``scenario``/``result`` state; what
+        remains is exactly what a results store needs to identify and
+        compare grid cells, and it slots directly into a
+        :class:`~repro.experiments.store.RunSummary` payload.
+        """
+        config = self.config
+        return {
+            "config": {
+                "dataset": config.dataset,
+                "model": config.model,
+                "attack": config.attack,
+                "defenses": [_encode_defense_spec(s) for s in config.defenses],
+                "target_fraction": config.target_fraction,
+                "n_predictions": config.n_predictions,
+                "scale": _encode_scale(config.scale),
+                "seed": config.seed,
+                "model_params": dict(config.model_params),
+                "attack_params": dict(config.attack_params),
+                "baselines": list(config.baselines),
+                "compute_cbr": config.compute_cbr,
+                "query_budget": config.query_budget,
+                "batch_size": config.batch_size,
+                "cache": config.cache,
+                "on_budget_exhausted": config.on_budget_exhausted,
+            },
+            "metrics": self.metrics,
+            "queries_used": self.queries_used,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ScenarioReport":
+        """Rebuild a report from :meth:`to_payload` output.
+
+        Specs are normalized to tuples (JSON has no tuple type), so a
+        round-tripped config compares equal to one declared with the
+        canonical tuple syntax.
+        """
+        data = dict(payload["config"])
+        config = ScenarioConfig(
+            dataset=data["dataset"],
+            model=data["model"],
+            attack=data["attack"],
+            defenses=tuple(_decode_defense_spec(s) for s in data["defenses"]),
+            target_fraction=data["target_fraction"],
+            n_predictions=data["n_predictions"],
+            scale=_decode_scale(data["scale"]),
+            seed=data["seed"],
+            model_params=dict(data["model_params"]),
+            attack_params=dict(data["attack_params"]),
+            baselines=tuple(data["baselines"]),
+            compute_cbr=data["compute_cbr"],
+            query_budget=data["query_budget"],
+            batch_size=data["batch_size"],
+            cache=data["cache"],
+            on_budget_exhausted=data["on_budget_exhausted"],
+        )
+        return cls(
+            config=config,
+            scenario=None,
+            result=None,
+            metrics=dict(payload["metrics"]),
+            queries_used=int(payload["queries_used"]),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line (see :meth:`to_payload`)."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ScenarioReport":
+        """Parse a :meth:`to_json` line back into a (storable) report."""
+        return cls.from_payload(json.loads(line))
+
+
+#: ScaleConfig fields that JSON round-trips as lists but the dataclass
+#: declares as tuples.
+_SCALE_TUPLE_FIELDS = ("fractions", "mlp_hidden", "grna_hidden", "distiller_hidden")
+
+
+def _encode_scale(scale: "str | ScaleConfig"):
+    if isinstance(scale, str):
+        return scale
+    return dataclasses.asdict(scale)
+
+
+def _decode_scale(data) -> "str | ScaleConfig":
+    if isinstance(data, str):
+        return data
+    fields = dict(data)
+    for name in _SCALE_TUPLE_FIELDS:
+        fields[name] = tuple(fields[name])
+    return ScaleConfig(**fields)
+
+
+def _encode_defense_spec(spec):
+    if isinstance(spec, str):
+        return spec
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        key, params = spec
+        return [key, dict(params)]
+    raise ScenarioError(
+        f"defense spec {spec!r} is not JSON-serializable; use a registry "
+        "key or a (key, params) pair in configs meant for persistence"
+    )
+
+
+def _decode_defense_spec(spec):
+    if isinstance(spec, str):
+        return spec
+    key, params = spec
+    return (key, dict(params))
 
 
 def _tree_structures(model: BaseClassifier) -> list:
@@ -304,6 +492,19 @@ def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStac
     if not 0.0 < config.target_fraction < 1.0:
         raise ScenarioError(
             f"target_fraction must lie in (0, 1), got {config.target_fraction}"
+        )
+    if config.query_budget is not None and config.query_budget < 1:
+        raise ScenarioError(
+            f"query_budget must be a positive int or None, got {config.query_budget}"
+        )
+    if config.batch_size is not None and config.batch_size < 1:
+        raise ScenarioError(
+            f"batch_size must be a positive int or None, got {config.batch_size}"
+        )
+    if config.on_budget_exhausted not in ("raise", "truncate"):
+        raise ScenarioError(
+            "on_budget_exhausted must be 'raise' or 'truncate', got "
+            f"{config.on_budget_exhausted!r}"
         )
 
 
@@ -415,7 +616,12 @@ def run_scenario(
         to run several attacks against one deployment without retraining
         it per attack. The caller guarantees the scenario matches the
         config's dataset/model/defenses; the config is still validated,
-        but its defenses are *not* re-applied to the prebuilt scenario.
+        but its defenses are *not* re-applied to the prebuilt scenario,
+        and the deployment's ledger keeps accumulating across attacks.
+        Serving knobs configure a deployment at build time, so a config
+        that sets any (``query_budget``/``batch_size``/``cache``/
+        ``on_budget_exhausted``) alongside a prebuilt scenario is
+        rejected rather than silently unmetered.
     """
     scale = get_scale(config.scale)
     DATASETS.get(config.dataset)
@@ -423,6 +629,18 @@ def run_scenario(
     attack: ScenarioAttack = ATTACKS.create(config.attack, **config.attack_params)
     stack = DefenseStack.from_specs(config.defenses)
     _validate(config, attack, stack)
+    if scenario is not None and (
+        config.query_budget is not None
+        or config.batch_size is not None
+        or config.cache
+        or config.on_budget_exhausted != "raise"
+    ):
+        raise ScenarioError(
+            "serving knobs (query_budget/batch_size/cache/on_budget_exhausted) "
+            "configure the deployment when the scenario is built and cannot "
+            "apply to a prebuilt scenario; set them on build_scenario (or on "
+            "its service) instead"
+        )
 
     if scenario is None:
         scenario = build_scenario(
@@ -434,10 +652,24 @@ def run_scenario(
             n_predictions=config.n_predictions,
             model_params=config.model_params,
             defense_stack=stack if len(stack) else None,
+            query_budget=config.query_budget,
+            batch_size=config.batch_size,
+            cache=config.cache,
+            on_budget_exhausted=config.on_budget_exhausted,
+            consumer=config.attack,
         )
     attack.prepare(scenario, scale=scale, seed=config.seed)
     result = attack.run(scenario.X_adv, scenario.V)
     metrics = _compute_metrics(config, scenario, result)
+    queries_used = (
+        scenario.service.ledger.queries_used
+        if scenario.service is not None
+        else int(scenario.V.shape[0])
+    )
     return ScenarioReport(
-        config=config, scenario=scenario, result=result, metrics=metrics
+        config=config,
+        scenario=scenario,
+        result=result,
+        metrics=metrics,
+        queries_used=queries_used,
     )

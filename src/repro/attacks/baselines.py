@@ -56,7 +56,12 @@ class RandomGuessAttack(FeatureInferenceAttack):
         return AttackResult(
             x_target_hat=guess,
             view=self.view,
-            info={"distribution": self.distribution},
+            info={
+                "distribution": self.distribution,
+                # Guessing ignores v entirely: the one attack with zero
+                # cost at the serving boundary.
+                "n_predictions_used": 0,
+            },
         )
 
 

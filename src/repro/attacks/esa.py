@@ -152,5 +152,8 @@ class EqualitySolvingAttack(FeatureInferenceAttack):
                 "rank": self._rank,
                 "is_exact": self.is_exact,
                 "mean_residual_norm": float(np.mean(np.linalg.norm(residual, axis=1))),
+                # One prediction query per reconstructed sample — ESA's
+                # whole cost at the serving boundary (§IV-A).
+                "n_predictions_used": int(v.shape[0]),
             },
         )

@@ -330,6 +330,10 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
                 "final_loss": self.loss_history_[-1] if self.loss_history_ else None,
                 "epochs": self.epochs,
                 "use_generator": self.use_generator,
+                # GRNA's serving-boundary cost is its accumulated pool:
+                # one prediction query per generator training sample (§V-A);
+                # generator epochs re-use the pool and cost nothing more.
+                "n_predictions_used": int(v.shape[0]),
             },
         )
 

@@ -47,6 +47,10 @@ class PathRestrictionResult:
         the paper quotes in Example 2).
     indicator:
         Final β vector of Algorithm 1 (after the α intersection).
+    queries_used:
+        Serving-boundary cost of this restriction: PRA is a
+        single-prediction attack, so each per-sample run consumes
+        exactly one query of the adversary's budget.
     """
 
     candidate_leaves: np.ndarray
@@ -54,6 +58,7 @@ class PathRestrictionResult:
     n_paths_total: int
     n_paths_restricted: int
     indicator: np.ndarray = field(repr=False)
+    queries_used: int = 1
 
 
 class PathRestrictionAttack:

@@ -44,6 +44,18 @@ class AttackError(ReproError, RuntimeError):
     """An attack could not be executed with the given inputs."""
 
 
+class QueryBudgetExceededError(ReproError, RuntimeError):
+    """A prediction query would exceed the consumer's remaining budget.
+
+    Raised by the serving layer's :class:`~repro.serving.QueryLedger`
+    when a metered :class:`~repro.serving.PredictionService` runs out of
+    budget mid-accumulation, and by rate-limiting defenses gating the
+    query interface. The message states the consumer, the request size,
+    and what remains, so a truncated attack fails with an actionable
+    diagnosis rather than a half-filled array three layers up.
+    """
+
+
 class DatasetError(ValidationError):
     """A dataset specification or generated dataset is invalid."""
 

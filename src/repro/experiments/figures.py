@@ -828,6 +828,116 @@ def fig11_defenses(
     return _run_serial(units, fig11_run_unit, fig11_aggregate, scale, seed=seed)
 
 
+# ----------------------------------------------------------------------
+# Beyond the paper — query-budget sweep through the serving layer
+# ----------------------------------------------------------------------
+#: Budgets as fractions of the scale's full prediction pool.
+BUDGET_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def budget_units(
+    scale: "str | ScaleConfig",
+    *,
+    datasets: tuple[str, ...] = ("bank", "news"),
+    budget_fractions: tuple[float, ...] = BUDGET_FRACTIONS,
+    seed: int = 13,
+) -> list[TrialSpec]:
+    """One unit per (dataset, budget fraction, trial) cell."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "budget",
+            f"{dataset}:q{_pct(budget_fraction)}:t{t}",
+            trial_seed,
+            dataset=dataset,
+            budget_fraction=budget_fraction,
+        )
+        for dataset in datasets
+        for budget_fraction in budget_fractions
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def budget_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """GRNA-NN against a metered deployment that truncates at the budget.
+
+    The serving-layer twin of Fig. 9: instead of the adversary *choosing*
+    to accumulate fewer predictions, the deployment's query ledger stops
+    serving once the budget is spent (``on_budget_exhausted="truncate"``),
+    and the attack trains on whatever prefix it could afford. At budget
+    fraction 1.0 the ledger never binds, which pins the sweep to the
+    unmetered baseline.
+    """
+    params = spec.kwargs
+    budget = max(16, int(round(scale.n_predictions * params["budget_fraction"])))
+    report = run_scenario(
+        ScenarioConfig(
+            dataset=params["dataset"],
+            model="nn",
+            attack="grna",
+            target_fraction=0.4,
+            scale=scale,
+            seed=spec.seed,
+            baselines=("uniform",),
+            query_budget=budget,
+            batch_size=max(16, budget // 4),
+            on_budget_exhausted="truncate",
+        )
+    )
+    return {
+        "grna_mse": report.metrics["mse"],
+        "rg_uniform_mse": report.metrics["rg_uniform_mse"],
+        "queries_used": report.queries_used,
+    }
+
+
+def budget_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Average trials into the budget-sweep series."""
+    scale = get_scale(scale)
+    rows = []
+    for (dataset, budget_fraction), payloads in _group_by(
+        units, results, "dataset", "budget_fraction"
+    ).items():
+        rows.append(
+            (
+                dataset,
+                _pct(budget_fraction),
+                int(np.mean([p["queries_used"] for p in payloads])),
+                float(np.mean([p["grna_mse"] for p in payloads])),
+                float(np.mean([p["rg_uniform_mse"] for p in payloads])),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="budget",
+        title="GRNA-NN under a serving-layer query budget (truncating ledger)",
+        columns=["dataset", "budget_pct", "queries_used", "grna_mse", "rg_uniform_mse"],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+def budget_sweep(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    datasets: tuple[str, ...] = ("bank", "news"),
+    budget_fractions: tuple[float, ...] = BUDGET_FRACTIONS,
+    seed: int = 13,
+) -> ExperimentResult:
+    """GRNA accuracy vs the deployment's query budget (serving layer)."""
+    scale = get_scale(scale)
+    units = budget_units(
+        scale, datasets=datasets, budget_fractions=budget_fractions, seed=seed
+    )
+    return _run_serial(units, budget_run_unit, budget_aggregate, scale, seed=seed)
+
+
 for _spec in (
     ExperimentSpec("fig5", fig5_units, fig5_run_unit, fig5_aggregate),
     ExperimentSpec("fig6", fig6_units, fig6_run_unit, fig6_aggregate),
@@ -836,6 +946,7 @@ for _spec in (
     ExperimentSpec("fig9", fig9_units, fig9_run_unit, fig9_aggregate),
     ExperimentSpec("fig10", fig10_units, fig10_run_unit, fig10_aggregate),
     ExperimentSpec("fig11", fig11_units, fig11_run_unit, fig11_aggregate),
+    ExperimentSpec("budget", budget_units, budget_run_unit, budget_aggregate),
 ):
     register_experiment(_spec)
 del _spec

@@ -5,12 +5,17 @@ Usage::
     python -m repro.experiments fig5 --scale smoke
     python -m repro.experiments all --scale default
     python -m repro.experiments fig7 --scale smoke --jobs 4 --store-dir out/
+    python -m repro.experiments list
 
 ``--jobs N`` fans trial units out over N worker processes; ``--store-dir``
 makes runs resumable (completed units are cached on disk and skipped on
 the next run; ``--force`` recomputes them). ``--jobs 1`` without a store
 is the classic serial in-process path; every mode produces identical
 tables for a given scale and seeds.
+
+``list`` prints the scenario API's component registries — every attack,
+model, defense, and dataset key with its one-line description — which is
+the full vocabulary accepted by ``ScenarioConfig``.
 """
 
 from __future__ import annotations
@@ -38,7 +43,36 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig9": figures.fig9_num_predictions,
     "fig10": figures.fig10_correlations,
     "fig11": figures.fig11_defenses,
+    "budget": figures.budget_sweep,
 }
+
+
+def print_registries(stream=None) -> None:
+    """Print every scenario-API registry: keys + one-line descriptions.
+
+    The ``repro-experiments list`` subcommand — the discoverability
+    counterpart of :class:`~repro.api.ScenarioConfig`, whose string
+    fields accept exactly these keys.
+    """
+    # Imported here so the plain experiment path never pays for the api
+    # package's registries.
+    from repro.api import ATTACKS, DATASETS, DEFENSES, MODELS
+
+    stream = sys.stdout if stream is None else stream
+    sections = (
+        ("attacks", ATTACKS),
+        ("models", MODELS),
+        ("defenses", DEFENSES),
+        ("datasets", DATASETS),
+    )
+    for index, (title, registry) in enumerate(sections):
+        if index:
+            print(file=stream)
+        print(f"{title}:", file=stream)
+        described = registry.describe()
+        width = max(len(key) for key in described)
+        for key, description in described.items():
+            print(f"  {key:<{width}}  {description}", file=stream)
 
 
 def run_experiment(
@@ -82,8 +116,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="experiment id (paper table/figure) or 'all'",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="experiment id (paper table/figure), 'all', or 'list' to "
+        "print the attack/model/defense/dataset registries",
     )
     parser.add_argument(
         "--scale",
@@ -113,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
         help="also save each result as <experiment>.csv in this directory",
     )
     args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print_registries()
+        return 0
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

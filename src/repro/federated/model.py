@@ -18,6 +18,8 @@ that θ is released to the active party for interpretability (§III-B).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.exceptions import ProtocolError, ValidationError
@@ -98,6 +100,21 @@ class VerticalFLModel:
     def predict_all(self) -> np.ndarray:
         """Confidence scores for every sample in the prediction dataset."""
         return self.predict(np.arange(self._n_samples))
+
+    def sample_hashes(self, sample_indices: np.ndarray) -> list[str]:
+        """Content fingerprints of the requested samples' joint rows.
+
+        The serving layer keys its response cache and its duplicate-query
+        audit on these: two requests for byte-identical joint feature
+        rows collide even under different sample ids. Like
+        :meth:`predict`, the rows are assembled only inside this call —
+        the digest reveals equality, never values.
+        """
+        sample_indices = np.asarray(sample_indices, dtype=np.int64).ravel()
+        if sample_indices.size == 0:
+            raise ProtocolError("hash request with no sample ids")
+        joint = np.ascontiguousarray(self._assemble(sample_indices))
+        return [hashlib.sha1(row.tobytes()).hexdigest() for row in joint]
 
     def _assemble(self, sample_indices: np.ndarray) -> np.ndarray:
         joint = np.empty((sample_indices.size, self.partition.n_features))

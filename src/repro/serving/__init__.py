@@ -1,0 +1,34 @@
+"""Serving layer: the metered query boundary between attacks and models.
+
+The deployment side of the paper's threat model. A
+:class:`PredictionService` is the **only** way attacking code reaches a
+deployed :class:`~repro.federated.VerticalFLModel`: it batches prediction
+rounds, charges every computed response to a :class:`QueryLedger` (budget
+exhaustion raises
+:class:`~repro.exceptions.QueryBudgetExceededError`), optionally memoizes
+responses by sample hash, and gives online defenses an ``on_query`` hook
+over everything it releases::
+
+    from repro.serving import PredictionService
+
+    service = PredictionService(vfl, query_budget=500, max_batch=64)
+    v = service.query(sample_ids, consumer="grna")
+    theta = service.release_model()          # plaintext θ, §III-B
+
+The scenario facade (:func:`repro.api.run_scenario`) builds one service
+per deployment and accumulates the prediction pool through it under the
+attack's consumer name, so every
+:class:`~repro.api.ScenarioReport` can state exactly how many queries the
+attack cost.
+"""
+
+from repro.exceptions import QueryBudgetExceededError
+from repro.serving.ledger import QueryLedger
+from repro.serving.service import PredictionService, QueryContext
+
+__all__ = [
+    "PredictionService",
+    "QueryContext",
+    "QueryLedger",
+    "QueryBudgetExceededError",
+]

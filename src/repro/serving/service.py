@@ -1,0 +1,356 @@
+"""The metered, batched query boundary between attacks and deployed models.
+
+Everything an adversary learns in this paper flows through **prediction
+queries** against a deployed VFL model (§II-B), and every §VII defense is
+an intervention on that interface — yet attacking code historically
+called :meth:`repro.federated.VerticalFLModel.predict` directly, so
+queries were unmetered, unbatched, and invisible to defenses.
+:class:`PredictionService` is the explicit serving layer that closes that
+gap. It owns four concerns:
+
+batched execution
+    ``query(sample_indices)`` splits a request into chunks of
+    ``max_batch`` and serves each chunk through one vectorized protocol
+    round — every round padded to the same canonical ``max_batch`` shape
+    so BLAS cannot switch matmul kernels between rounds. For a given
+    ``max_batch``, batched and per-sample execution are therefore
+    bit-identical across all four model kinds (regression-tested); the
+    unbatched default serves one round, byte-compatible with the
+    historical direct protocol call.
+metering
+    Every *computed* response is charged to a
+    :class:`~repro.serving.ledger.QueryLedger` under the caller's
+    ``consumer`` name. Exhausting a budget raises
+    :class:`~repro.exceptions.QueryBudgetExceededError` (or truncates the
+    response, in ``exhaustion="truncate"`` mode) — per batch, so a long
+    accumulation fails mid-stream exactly where the budget binds.
+response cache
+    With ``cache=True`` responses are memoized by *sample hash* (a
+    content fingerprint of the assembled joint row, computed inside the
+    protocol). A repeated query — across requests or within one chunk —
+    replays the stored response — including whatever noise a defense
+    drew the first time — and is recorded as a cache hit, never
+    charged. Replays are still announced to the ``on_query`` hooks (as
+    :attr:`QueryContext.replayed_indices`), so auditing defenses see
+    duplicate traffic even though the stored bytes are not re-perturbed.
+online defense hook
+    After a chunk is computed, the scenario's
+    :class:`~repro.api.defenses.DefenseStack` gets an ``on_query`` pass
+    over the fresh responses with a :class:`QueryContext` describing who
+    asked for what. Per-query noise, rate limiting, and duplicate-query
+    auditing all live behind this hook and compose with the existing
+    screen/wrap/release_mask hooks.
+
+The service is also the release point for the plaintext parameters θ the
+paper grants the active party (§III-B): :meth:`release_model` peels the
+output-defense wrappers, because §VII defenses perturb *served scores*,
+never the released weights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.defenses.base import unwrap_model
+from repro.exceptions import ProtocolError, ValidationError
+from repro.federated.model import VerticalFLModel
+from repro.models.base import BaseClassifier
+from repro.serving.ledger import QueryLedger
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PredictionService", "QueryContext"]
+
+#: Exhaustion policies: fail the whole request, or serve what fits.
+EXHAUSTION_MODES = ("raise", "truncate")
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """What an ``on_query`` defense hook learns about one served chunk.
+
+    Attributes
+    ----------
+    consumer:
+        The ledger name of whoever issued the query (for a scenario run,
+        the attack's registry key).
+    sample_indices:
+        The sample ids of the freshly computed responses in this chunk —
+        the rows of the ``V`` matrix the hook may perturb.
+    service:
+        The serving instance — hooks read the ledger, the protocol's
+        sample hashes, and the defense rng through it.
+    replayed_indices:
+        Sample ids served from the response cache in this chunk. Their
+        stored responses are *not* re-presented for perturbation (a
+        replay is byte-stable by contract), but auditing defenses see
+        them here — a duplicate query is exactly what they exist to
+        catch.
+    sample_hashes:
+        Content fingerprints for ``sample_indices`` followed by
+        ``replayed_indices``, when the service already computed them for
+        its cache; ``None`` otherwise (hooks needing hashes then call
+        ``service.vfl.sample_hashes`` themselves).
+    """
+
+    consumer: str
+    sample_indices: np.ndarray
+    service: "PredictionService"
+    replayed_indices: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    sample_hashes: "tuple[str, ...] | None" = None
+
+
+class PredictionService:
+    """Metered, batched, cacheable façade over one deployed VFL model.
+
+    Parameters
+    ----------
+    vfl:
+        The deployment: prediction protocol plus (possibly
+        output-wrapped) served model.
+    defense_stack:
+        Online hook point — each computed chunk passes through the
+        stack's ``on_query`` before release. ``None`` serves raw.
+    ledger:
+        An existing ledger to share between services (e.g. one budget
+        across several deployments); mutually exclusive with
+        ``query_budget``.
+    query_budget:
+        Convenience for ``ledger=QueryLedger(budget=...)``.
+    max_batch:
+        Largest number of samples computed per protocol round; ``None``
+        serves each request in one vectorized round.
+    cache:
+        Memoize responses by sample hash and replay repeats for free.
+    rng:
+        Defense stream for online perturbations (``query_noise`` draws
+        from it when it has no stream of its own).
+    exhaustion:
+        ``"raise"`` fails a request that would cross the budget;
+        ``"truncate"`` serves the prefix that fits and stops.
+    """
+
+    def __init__(
+        self,
+        vfl: VerticalFLModel,
+        *,
+        defense_stack=None,
+        ledger: "QueryLedger | None" = None,
+        query_budget: "int | None" = None,
+        max_batch: "int | None" = None,
+        cache: bool = False,
+        rng: "np.random.Generator | None" = None,
+        exhaustion: str = "raise",
+    ) -> None:
+        if ledger is not None and query_budget is not None:
+            raise ValidationError(
+                "pass either an existing ledger or a query_budget, not both"
+            )
+        if exhaustion not in EXHAUSTION_MODES:
+            raise ValidationError(
+                f"exhaustion must be one of {EXHAUSTION_MODES}, got {exhaustion!r}"
+            )
+        self.vfl = vfl
+        self.defense_stack = defense_stack
+        self.ledger = ledger if ledger is not None else QueryLedger(budget=query_budget)
+        self.max_batch = (
+            None if max_batch is None else check_positive_int(max_batch, name="max_batch")
+        )
+        self._cache: "dict[str, np.ndarray] | None" = {} if cache else None
+        self.rng = rng
+        self.exhaustion = exhaustion
+        # Fingerprint chunks once, here, when any stacked defense consumes
+        # hashes (e.g. query_audit) — not once per defense per chunk.
+        self._wants_hashes = defense_stack is not None and any(
+            getattr(defense, "wants_sample_hashes", False)
+            for defense in defense_stack
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Samples in the deployment's aligned prediction dataset."""
+        return self.vfl.n_samples
+
+    @property
+    def n_classes(self) -> int:
+        """Width of every response row."""
+        return self.vfl.n_classes
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether responses are memoized by sample hash."""
+        return self._cache is not None
+
+    @property
+    def cache_size(self) -> int:
+        """Distinct sample hashes currently memoized."""
+        return len(self._cache) if self._cache is not None else 0
+
+    def release_model(self) -> BaseClassifier:
+        """The plaintext released model θ (§III-B), defenses peeled off."""
+        return unwrap_model(self.vfl.model)
+
+    # ------------------------------------------------------------------
+    # The query interface
+    # ------------------------------------------------------------------
+    def query(
+        self, sample_indices: np.ndarray, *, consumer: str = "anonymous"
+    ) -> np.ndarray:
+        """Confidence scores for the requested samples, ``(N, C)``.
+
+        The only path from an attack to the deployed model: batched by
+        ``max_batch``, charged to ``consumer`` on the ledger, served from
+        the cache where possible, and passed through the defense stack's
+        ``on_query`` hooks. In ``truncate`` mode the returned matrix may
+        be a prefix of the request — compare ``len(result)`` with the
+        request length to detect where the budget bound.
+        """
+        indices = np.asarray(sample_indices, dtype=np.int64).ravel()
+        if indices.size == 0:
+            raise ProtocolError("prediction request with no sample ids")
+        blocks: list[np.ndarray] = []
+        step = self.max_batch or indices.size
+        for start in range(0, indices.size, step):
+            block, exhausted = self._serve_chunk(indices[start : start + step], consumer)
+            if block.size:
+                blocks.append(block)
+            if exhausted:
+                break
+        if not blocks:
+            return np.empty((0, self.n_classes))
+        return np.vstack(blocks)
+
+    def query_all(self, *, consumer: str = "anonymous") -> np.ndarray:
+        """Query every sample of the prediction dataset."""
+        return self.query(np.arange(self.n_samples), consumer=consumer)
+
+    def _serve_chunk(
+        self, chunk: np.ndarray, consumer: str
+    ) -> tuple[np.ndarray, bool]:
+        """Serve one ``max_batch``-sized chunk; True means budget exhausted."""
+        hashes = (
+            self.vfl.sample_hashes(chunk)
+            if self._cache is not None or self._wants_hashes
+            else None
+        )
+        if self._cache is not None:
+            # A repeated sample id (or repeated content) within one chunk
+            # is a single chargeable computation; later occurrences replay.
+            miss_pos: list[int] = []
+            pending: set[str] = set()
+            for i, digest in enumerate(hashes):
+                if digest in self._cache or digest in pending:
+                    continue
+                miss_pos.append(i)
+                pending.add(digest)
+        else:
+            miss_pos = list(range(chunk.size))
+
+        granted = 0
+        if miss_pos:
+            if self.exhaustion == "raise":
+                granted = self.ledger.charge(len(miss_pos), consumer)
+            else:
+                granted = self.ledger.grant(len(miss_pos), consumer)
+
+        # Positions past the first unserved miss are withheld (truncation).
+        cutoff = chunk.size if granted == len(miss_pos) else miss_pos[granted]
+        served_miss = miss_pos[:granted]
+        hit_pos = (
+            []
+            if self._cache is None
+            else sorted(set(range(cutoff)) - set(served_miss))
+        )
+
+        computed = np.empty((0, self.n_classes))
+        if granted or hit_pos:
+            try:
+                if granted:
+                    computed = self._protocol_predict(chunk[served_miss])
+                computed = self._apply_on_query(
+                    computed, chunk, served_miss, hit_pos, hashes, consumer
+                )
+            except Exception:
+                # A refused batch released nothing; un-charge it so the
+                # ledger keeps meaning "responses the consumer received".
+                self.ledger.refund(granted, consumer)
+                raise
+
+        if self._cache is None:
+            # No cache: the computed block is the response (hot path).
+            return computed, granted < chunk.size
+
+        rows = np.empty((cutoff, self.n_classes))
+        next_miss = 0
+        for position in range(cutoff):
+            if next_miss < granted and position == served_miss[next_miss]:
+                rows[position] = computed[next_miss]
+                self._cache[hashes[position]] = computed[next_miss].copy()
+                next_miss += 1
+            else:
+                # Stored earlier — or, for an intra-chunk duplicate, just
+                # now when its first occurrence was assembled above.
+                rows[position] = self._cache[hashes[position]]
+        if hit_pos:
+            self.ledger.record_cache_hits(len(hit_pos), consumer)
+        return rows, cutoff < chunk.size
+
+    def _protocol_predict(self, indices: np.ndarray) -> np.ndarray:
+        """Execute one protocol round at the service's canonical shape.
+
+        BLAS picks its matmul kernel by matrix shape, and different
+        kernels may reassociate sums differently — a one-ulp drift that
+        would break the bitwise batched-vs-serial contract for LR/NN
+        deployments. With ``max_batch`` set, every round is therefore
+        padded (by repeating the last sample id) to exactly ``max_batch``
+        rows and the pad rows dropped: all rounds share one kernel
+        shape, and a matmul's row results are independent of the other
+        rows, so any request partition yields identical bytes. With
+        ``max_batch=None`` the request is served as a single round,
+        byte-compatible with the historical direct protocol call. (Pad
+        rows cost duplicate entries in the protocol's prediction log;
+        the ledger, which meters the adversary, never sees them.)
+        """
+        if self.max_batch is None or indices.size == self.max_batch:
+            return self.vfl.predict(indices)
+        pad = np.full(self.max_batch - indices.size, indices[-1], dtype=np.int64)
+        return self.vfl.predict(np.concatenate([indices, pad]))[: indices.size]
+
+    def _apply_on_query(
+        self,
+        responses: np.ndarray,
+        chunk: np.ndarray,
+        served_miss: list[int],
+        hit_pos: list[int],
+        hashes: "list[str] | None",
+        consumer: str,
+    ) -> np.ndarray:
+        stack = self.defense_stack
+        if stack is None or not len(stack):
+            return responses
+        context = QueryContext(
+            consumer=consumer,
+            sample_indices=chunk[served_miss] if served_miss else chunk[:0],
+            service=self,
+            replayed_indices=chunk[hit_pos] if hit_pos else chunk[:0],
+            sample_hashes=(
+                None
+                if hashes is None
+                else tuple(hashes[i] for i in [*served_miss, *hit_pos])
+            ),
+        )
+        return stack.on_query(responses, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"PredictionService(n_samples={self.n_samples}, "
+            f"max_batch={self.max_batch}, cache={self.cache_enabled}, "
+            f"ledger={self.ledger!r})"
+        )

@@ -104,7 +104,18 @@ class TestRegistry:
         "registry,expected",
         [
             (ATTACKS, ["esa", "pra", "grna", "random_uniform", "random_gaussian"]),
-            (DEFENSES, ["rounding", "noise", "screening", "verification"]),
+            (
+                DEFENSES,
+                [
+                    "rounding",
+                    "noise",
+                    "screening",
+                    "verification",
+                    "query_noise",
+                    "rate_limit",
+                    "query_audit",
+                ],
+            ),
             (MODELS, ["lr", "nn", "dt", "rf"]),
             (DATASETS, ["bank", "credit", "drive", "news", "synthetic1", "synthetic2"]),
         ],
@@ -468,6 +479,86 @@ class TestDeprecationShims:
         from repro.experiments.config import SMOKE as shimmed
 
         assert shimmed is canonical
+
+
+class TestReportPersistence:
+    """ScenarioReport round-trips through JSON and the JSONL ResultsStore."""
+
+    def _report(self, **overrides):
+        from repro.api import ScenarioReport
+
+        config = dict(
+            dataset="bank", model="lr", attack="esa",
+            defenses=(("rounding", {"digits": 3}),),
+            target_fraction=0.4, scale=MICRO, seed=0,
+            baselines=("uniform",), query_budget=500, batch_size=16,
+        )
+        config.update(overrides)
+        return run_scenario(ScenarioConfig(**config))
+
+    def test_json_round_trip(self):
+        from repro.api import ScenarioReport
+
+        report = self._report()
+        restored = ScenarioReport.from_json(report.to_json())
+        assert restored.config == report.config
+        assert restored.metrics == report.metrics
+        assert restored.queries_used == report.queries_used
+        # Array-heavy state is intentionally not persisted.
+        assert restored.scenario is None and restored.result is None
+        # A restored report still serializes and summarizes.
+        assert ScenarioReport.from_json(restored.to_json()).config == report.config
+        assert "esa" in restored.summary()
+
+    def test_round_trip_with_preset_scale_name(self):
+        from repro.api import ScenarioReport
+
+        report = self._report(scale="smoke", query_budget=None, batch_size=None)
+        restored = ScenarioReport.from_json(report.to_json())
+        assert restored.config.scale == "smoke"
+        assert restored.config == report.config
+
+    def test_defense_instance_specs_refuse_serialization(self):
+        from repro.api import ScenarioReport
+
+        class Custom(Defense):
+            name = "custom"
+
+        report = ScenarioReport(
+            config=ScenarioConfig(
+                dataset="bank", model="lr", attack="esa",
+                defenses=(Custom(),), scale=MICRO,
+            ),
+            scenario=None,
+            result=None,
+            metrics={},
+        )
+        with pytest.raises(ScenarioError, match="not JSON-serializable"):
+            report.to_json()
+
+    def test_persists_in_results_store(self, tmp_path):
+        from repro.api import ScenarioReport
+        from repro.experiments.store import ResultsStore, RunSummary
+
+        report = self._report()
+        store = ResultsStore(tmp_path)
+        store.put(
+            RunSummary(
+                experiment_id="scenarios",
+                unit_id="bank:lr:esa:40",
+                scale=MICRO.name,
+                seed=report.config.seed,
+                config_hash="report",
+                payload=report.to_payload(),
+            )
+        )
+        loaded = ResultsStore(tmp_path).get(
+            "scenarios", MICRO.name, "bank:lr:esa:40", "report"
+        )
+        restored = ScenarioReport.from_payload(loaded.payload)
+        assert restored.config == report.config
+        assert restored.metrics == report.metrics
+        assert restored.queries_used == report.queries_used
 
 
 class TestPackaging:

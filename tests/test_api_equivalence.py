@@ -185,3 +185,64 @@ class TestRefactorEquivalence:
             TINY, datasets=("bank",), models=("lr", "rf", "nn"), seed=7
         ):
             assert fig7_run_unit(unit, TINY) == legacy_fig7_run_unit(unit, TINY)
+
+
+class TestServingEquivalence:
+    """The metered serving boundary is invisible at default knobs.
+
+    Every run-unit now accumulates its prediction pool through a
+    :class:`~repro.serving.PredictionService`; these tests pin down that
+    the redesign is pure plumbing — a ledgered, cacheable boundary whose
+    default (unlimited budget, single round, no cache) reproduces the
+    legacy skeletons to the bit, while metering is observable on the
+    report.
+    """
+
+    def test_fig5_with_metering_and_cache_bit_identical(self):
+        """An ample finite budget plus the response cache change nothing."""
+        from repro.api import ScenarioConfig, run_scenario
+
+        for unit in fig5_units(TINY, datasets=("bank",), seed=5):
+            params = unit.kwargs
+            legacy = legacy_fig5_run_unit(unit, TINY)
+            report = run_scenario(
+                ScenarioConfig(
+                    dataset=params["dataset"],
+                    model="lr",
+                    attack="esa",
+                    target_fraction=params["fraction"],
+                    scale=TINY,
+                    seed=unit.seed,
+                    baselines=("uniform", "gaussian"),
+                    query_budget=10 * TINY.n_predictions,
+                    cache=True,
+                )
+            )
+            assert report.metrics["mse"] == legacy["esa_mse"]
+            assert report.metrics["rg_uniform_mse"] == legacy["rg_uniform_mse"]
+            assert report.metrics["rg_gaussian_mse"] == legacy["rg_gaussian_mse"]
+
+    def test_every_run_unit_reports_its_query_cost(self):
+        """Each cell's report carries queries_used == the accumulated pool."""
+        from repro.api import ScenarioConfig, run_scenario
+
+        report = run_scenario(
+            ScenarioConfig(
+                dataset="bank",
+                model="lr",
+                attack="esa",
+                target_fraction=0.4,
+                scale=TINY,
+                seed=5,
+            )
+        )
+        assert report.queries_used == TINY.n_predictions
+        assert (
+            report.result.info["n_predictions_used"] == TINY.n_predictions
+        )
+
+    def test_legacy_scenarios_flow_through_the_service(self):
+        """The legacy oracle's own build path is served, not raw predict."""
+        scenario = build_scenario("bank", "lr", 0.4, TINY, 5)
+        assert scenario.service is not None
+        assert scenario.service.ledger.queries_used == scenario.V.shape[0]

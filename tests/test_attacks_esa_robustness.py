@@ -106,7 +106,7 @@ class TestDefendedPipeline:
     def test_esa_through_rounded_vfl_protocol(self, blobs):
         """End-to-end: the defense is installed server-side in the VFL
         wrapper and the adversary attacks the truncated outputs."""
-        from repro.defenses import RoundedModel
+        from repro.api import DefenseStack
         from repro.federated import train_vertical_model
 
         X, y = blobs
@@ -122,6 +122,6 @@ class TestDefendedPipeline:
         assert np.mean((clean.x_target_hat - truth) ** 2) < 1e-8
 
         # Defended with b=1 rounding: exactness destroyed.
-        vfl.model = RoundedModel(model, 1)
+        vfl.model = DefenseStack.from_specs([("rounding", {"digits": 1})]).wrap(model)
         defended = attack.run(vfl.adversary_features(), vfl.predict_all())
         assert np.mean((defended.x_target_hat - truth) ** 2) > 1e-4

@@ -1,0 +1,62 @@
+"""The ``repro-experiments list`` subcommand and Registry.describe."""
+
+import pytest
+
+from repro.api import ATTACKS, DATASETS, DEFENSES, MODELS, Registry
+from repro.experiments.runner import main
+
+
+class TestDescribe:
+    def test_every_component_registry_fully_described(self):
+        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS):
+            described = registry.describe()
+            assert list(described) == registry.names()
+            for key, description in described.items():
+                assert description, f"{registry.kind} {key!r} has no description"
+                assert "\n" not in description
+
+    def test_partial_entries_describe_the_wrapped_callable(self):
+        # random_uniform/random_gaussian are functools.partial entries.
+        assert "baseline" in ATTACKS.describe()["random_uniform"].lower()
+
+    def test_description_attribute_wins(self):
+        registry = Registry("thing")
+
+        class Entry:
+            """Docstring that should lose."""
+
+            description = "attribute that should win"
+
+        registry.register("e", Entry())
+        assert registry.describe() == {"e": "attribute that should win"}
+
+    def test_undocumented_entry_yields_empty_string(self):
+        registry = Registry("thing")
+        registry.register("n", lambda: None)  # a lambda has no docstring
+        assert registry.describe()["n"] == ""
+
+
+class TestListSubcommand:
+    def test_prints_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("attacks:", "models:", "defenses:", "datasets:"):
+            assert section in out
+        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS):
+            for key in registry.names():
+                assert f"  {key}" in out
+        # Descriptions ride along (spot-check one per registry).
+        assert "Equality Solving Attack" in out
+        assert "Logistic regression" in out
+        assert "rate limit" in out.lower() or "Refuse service" in out
+        assert "Bank marketing" in out
+
+    def test_list_runs_no_experiments(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "scale=" not in out
+
+    def test_list_rejects_experiment_flags_gracefully(self):
+        # 'list' is a positional choice; unknown experiment ids still fail.
+        with pytest.raises(SystemExit):
+            main(["lists"])

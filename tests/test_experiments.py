@@ -161,11 +161,13 @@ class TestBuildScenario:
         assert scenario.V.shape[0] == 30
 
     def test_model_wrapper_applied(self):
+        from repro.api import DefenseStack
         from repro.defenses import RoundedModel
 
+        wrap = DefenseStack.from_specs([("rounding", {"digits": 1})]).wrap
         scenario = build_scenario(
             "bank", "lr", 0.4, TINY, seed=0,
-            model_wrapper=lambda m: RoundedModel(m, 1),
+            model_wrapper=wrap,
         )
         assert isinstance(scenario.model, RoundedModel)
         v_digits = scenario.V * 10
@@ -176,7 +178,7 @@ class TestRunners:
     def test_registry_covers_all_paper_artifacts(self):
         assert set(EXPERIMENTS) == {
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11",
+            "fig10", "fig11", "budget",
         }
 
     def test_registry_entries_accept_scale_uniformly(self):
