@@ -1,14 +1,23 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke docs-check examples-smoke bench-smoke
+.PHONY: test smoke docs-check examples-smoke bench bench-smoke bench-baseline
 
 ## test: run the full test suite (tier-1 gate)
 test:
 	$(PY) -m pytest -x -q
 
-## bench-smoke: serving-layer throughput check at tiny scale (regression-gated)
+## bench: full-scale model-kernel benchmark, writes BENCH_vectorized.json
+bench:
+	$(PY) -m repro.bench
+
+## bench-baseline: regenerate the seed-kernel anchor BENCH_seed.json
+bench-baseline:
+	$(PY) -m repro.bench --seed-baseline
+
+## bench-smoke: kernel + serving throughput checks at tiny scale (regression-gated)
 bench-smoke:
+	$(PY) -m repro.bench --smoke
 	$(PY) benchmarks/bench_service.py --tiny
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
@@ -31,11 +40,17 @@ docs-check:
 	grep -q 'run_scenario' README.md
 	grep -q 'repro-experiments' README.md
 	grep -q 'query_budget' README.md
+	grep -q 'repro-bench' README.md
+	grep -q 'BENCH_vectorized' README.md
 	grep -q 'trial_units' docs/architecture.md
 	grep -q 'run_scenario' docs/architecture.md
 	grep -q 'DefenseStack' docs/architecture.md
 	grep -q 'PredictionService' docs/architecture.md
 	grep -q 'on_query' docs/architecture.md
+	grep -q '## Performance' docs/architecture.md
+	grep -q 'repro-bench' docs/architecture.md
+	$(PY) -c "import repro.bench as b; assert b.__doc__ and 'repro-bench' in b.__doc__; \
+	    assert all(getattr(b, n).__doc__ for n in ('run_bench', 'regression_failures', 'KernelResult'))"
 	$(PY) -m repro.experiments --help > /dev/null
 	$(PY) -c "import repro.experiments as e; assert e.__doc__ and 'run_batch' in e.__doc__; \
 	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"

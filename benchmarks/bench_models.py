@@ -1,0 +1,14 @@
+"""Model-kernel benchmarks — thin wrapper over :mod:`repro.bench`.
+
+Lives next to the other ``benchmarks/`` entry points for discoverability;
+the implementation (kernels, JSON trajectory, regression gate) is the
+installable ``repro-bench`` console script::
+
+    PYTHONPATH=src python benchmarks/bench_models.py            # full scale
+    PYTHONPATH=src python benchmarks/bench_models.py --smoke    # CI gate
+"""
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

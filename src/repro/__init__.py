@@ -40,7 +40,7 @@ from repro import (
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",

@@ -210,10 +210,13 @@ class PraScenarioAttack(ScenarioAttack):
         restricted: list[int] = []
         intervals: list[dict[int, tuple[float, float]]] = []
         n_failed = 0
+        # One vectorized Algorithm-1 pass restricts the whole pool; only
+        # the uniform path choice stays sequential, consuming the rng
+        # stream in the same per-sample order as the historical loop.
+        indicators = self._attack.restrict_batch(x_adv, labels)
         for i in range(x_adv.shape[0]):
-            try:
-                result = self._attack.run(x_adv[i], int(labels[i]), rng=rng)
-            except AttackError:
+            candidates = np.flatnonzero(indicators[i])
+            if candidates.size == 0:
                 # A defended output can reveal a class label inconsistent
                 # with every path the adversary's features allow (e.g. a
                 # noise-flipped argmax); that sample is unattackable.
@@ -222,10 +225,12 @@ class PraScenarioAttack(ScenarioAttack):
                 intervals.append({})
                 n_failed += 1
                 continue
-            paths.append(result.selected_path)
-            restricted.append(int(result.n_paths_restricted))
+            leaf = int(rng.choice(candidates))
+            path = self._attack.cached_path(leaf)
+            paths.append(path)
+            restricted.append(int(candidates.size))
             bounds = self._attack.infer_intervals(
-                result.selected_path, low=self.interval_low, high=self.interval_high
+                path, low=self.interval_low, high=self.interval_high
             )
             intervals.append(bounds)
             for feature, (low, high) in bounds.items():

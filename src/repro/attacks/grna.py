@@ -36,7 +36,7 @@ from repro.nn.data import batch_indices
 from repro.nn.module import Parameter
 from repro.nn.optim import make_optimizer
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor, concat
+from repro.tensor.tensor import Tensor, assemble_columns, concat
 from repro.utils.random import check_random_state
 from repro.utils.validation import check_in_range, check_matrix, check_positive_int
 
@@ -145,6 +145,19 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         # Column permutation restoring original feature order after
         # concat([x_adv, x̂_target]) — Algorithm 2 line 9's "x_adv ∪ x̂".
         self._perm = view.permutation_to_original()
+        # Inverse permutation, split into the original-order column
+        # positions of the adversary block and the generated block: the
+        # hot loop assembles x_full with one scatter and back-propagates
+        # with one gather instead of permuting the full joint width.
+        inv_perm = np.argsort(self._perm)
+        self._adv_positions = inv_perm[: view.d_adv]
+        self._target_positions = inv_perm[view.d_adv :]
+        self._input_buffer: np.ndarray | None = None
+
+    #: Flip to False (per instance or class-wide in tests) to train through
+    #: the retained composed-graph loss (`_prediction_loss_reference`); the
+    #: fused path is bit-identical.
+    _fast_loss = True
 
     # ------------------------------------------------------------------
     # Training (Algorithm 2)
@@ -226,17 +239,52 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         return Sequential(*layers)
 
     def _generator_batch_input(self, x_adv_batch: np.ndarray) -> Tensor:
-        parts = []
+        """Generator input for one batch, reusing the training concat buffer.
+
+        The noise draw stays a single ``rng.normal(size=...)`` call so the
+        random stream (and therefore every generated value) is unchanged;
+        only the destination of the copy moves from a fresh ``np.hstack``
+        allocation into the persistent per-fit buffer.
+        """
+        rows = x_adv_batch.shape[0]
+        buffer = self._input_buffer
+        if buffer is None or buffer.shape[0] < rows:
+            buffer = np.empty((rows, self._generator_input_width()))
+        out = buffer[:rows]
+        offset = 0
         if self.use_adv_input:
-            parts.append(x_adv_batch)
+            out[:, : self.view.d_adv] = x_adv_batch
+            offset = self.view.d_adv
         if self.use_noise:
-            parts.append(
-                self.rng.normal(size=(x_adv_batch.shape[0], self.view.d_target))
-            )
-        return Tensor(np.hstack(parts))
+            out[:, offset:] = self.rng.normal(size=(rows, self.view.d_target))
+        return Tensor(out)
 
     def _prediction_loss(self, x_adv_batch: np.ndarray, x_hat: Tensor, v_batch: np.ndarray) -> Tensor:
-        """ℓ(f(x_adv ∪ x̂_target), v) + Ω — Algorithm 2 lines 9-10."""
+        """ℓ(f(x_adv ∪ x̂_target), v) + Ω — Algorithm 2 lines 9-10.
+
+        Hot-path formulation: one scatter assembles x_full (backward is a
+        single gather of the generated columns), and the MSE and variance
+        reductions are fused single-node kernels. Training is bit-identical
+        to :meth:`_prediction_loss_reference`, the retained composed-graph
+        seed implementation (regression-tested under the oracle harness).
+        """
+        if not self._fast_loss:
+            return self._prediction_loss_reference(x_adv_batch, x_hat, v_batch)
+        x_full = assemble_columns(
+            x_adv_batch, x_hat, self._adv_positions, self._target_positions
+        )
+        v_hat = self.model.forward_tensor(x_full)
+        loss = F.fused_mse_loss(v_hat, v_batch)
+        if self.variance_penalty > 0.0 and x_hat.shape[0] > 1:
+            loss = loss + F.hinged_variance_penalty(
+                x_hat, self.variance_threshold, self.variance_penalty
+            )
+        return loss
+
+    def _prediction_loss_reference(
+        self, x_adv_batch: np.ndarray, x_hat: Tensor, v_batch: np.ndarray
+    ) -> Tensor:
+        """Seed reference: the op-by-op composed autodiff graph."""
         x_full = concat([Tensor(x_adv_batch), x_hat], axis=1)
         x_full = x_full[:, self._perm]
         v_hat = self.model.forward_tensor(x_full)
@@ -253,6 +301,9 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         )
         self.loss_history_ = []
         n = X_adv.shape[0]
+        self._input_buffer = np.empty(
+            (min(self.batch_size, n), self._generator_input_width())
+        )
         for _ in range(self.epochs):
             epoch_loss, n_batches = 0.0, 0
             for idx in batch_indices(n, self.batch_size, rng=self.rng):

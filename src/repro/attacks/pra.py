@@ -76,9 +76,39 @@ class PathRestrictionAttack:
         self.structure = structure
         self.view = view
         self._adv_features = set(int(i) for i in view.adversary_indices)
+        # Flat-array precomputation for the vectorized Algorithm 1: per
+        # tree level, the existing internal slots, whether each tests an
+        # adversary feature, the position of that feature inside x_adv,
+        # and the split threshold. `restrict` then propagates β one whole
+        # level per numpy op instead of one Python BFS step per node.
+        adv_lookup = np.zeros(view.n_features, dtype=bool)
+        adv_lookup[view.adversary_indices] = True
+        pos_lookup = np.zeros(view.n_features, dtype=np.int64)
+        pos_lookup[view.adversary_indices] = np.arange(view.d_adv)
+        self._levels: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for level in range(structure.depth):
+            idx = np.arange(2**level - 1, 2 ** (level + 1) - 1)
+            idx = idx[structure.exists[idx] & ~structure.is_leaf[idx]]
+            if idx.size == 0:
+                continue
+            feat = structure.feature[idx]
+            is_adv = adv_lookup[feat]
+            # Position is only read where is_adv holds; 0 elsewhere.
+            adv_pos = np.where(is_adv, pos_lookup[feat], 0)
+            self._levels.append((idx, is_adv, adv_pos, structure.threshold[idx]))
+        leaf_mask = structure.exists & structure.is_leaf
+        self._alpha_cache: dict[int, np.ndarray] = {}
+        self._leaf_mask = leaf_mask
+        self._n_paths = int(np.flatnonzero(leaf_mask).size)
+        self._leaf_paths: dict[int, list[int]] = {}
+        self._interval_cache: dict[tuple, dict[int, tuple[float, float]]] = {}
 
     def restrict(self, x_adv: np.ndarray, predicted_class: int) -> np.ndarray:
         """Algorithm 1: return β over all tree slots (1 = live leaf).
+
+        Level-order vectorized over the flat :class:`TreeStructure`
+        arrays; output identical to the retained per-node reference
+        :meth:`_restrict_slow`.
 
         Parameters
         ----------
@@ -88,6 +118,64 @@ class PathRestrictionAttack:
         predicted_class:
             The class label revealed by the prediction output.
         """
+        x_adv = check_vector(x_adv, name="x_adv")
+        if x_adv.shape[0] != self.view.d_adv:
+            raise AttackError(
+                f"x_adv has {x_adv.shape[0]} entries, expected d_adv={self.view.d_adv}"
+            )
+        beta = np.zeros(self.structure.n_nodes, dtype=np.int8)  # line 1
+        beta[0] = 1  # line 3: the root is always evaluated
+        for idx, is_adv, adv_pos, thresholds in self._levels:  # lines 4-14
+            live = beta[idx]
+            go_left = x_adv[adv_pos] <= thresholds  # lines 6-10
+            left = 2 * idx + 1
+            beta[left] = live * (~is_adv | go_left)  # line 12 when ~is_adv
+            beta[left + 1] = live * (~is_adv | ~go_left)
+        # line 15: α marks leaves carrying the predicted class.
+        alpha = self._alpha(predicted_class)
+        return (alpha * beta).astype(np.int8)  # lines 16-17
+
+    def restrict_batch(
+        self, X_adv: np.ndarray, predicted_classes: np.ndarray
+    ) -> np.ndarray:
+        """Algorithm 1 for a whole sample pool in one pass, ``(n, n_nodes)``.
+
+        Row ``i`` equals ``restrict(X_adv[i], predicted_classes[i])``; the
+        β propagation runs once per tree level for all samples, so an
+        n-sample restriction costs ``O(depth)`` numpy ops instead of ``n``
+        Python tree walks. This is the serving-pool hot path used by the
+        scenario adapter.
+        """
+        X_adv = np.atleast_2d(np.asarray(X_adv, dtype=np.float64))
+        if X_adv.shape[1] != self.view.d_adv:
+            raise AttackError(
+                f"X_adv has {X_adv.shape[1]} columns, expected d_adv={self.view.d_adv}"
+            )
+        classes = np.asarray(predicted_classes, dtype=np.int64).ravel()
+        if classes.shape[0] != X_adv.shape[0]:
+            raise AttackError(
+                f"{X_adv.shape[0]} samples but {classes.shape[0]} predicted classes"
+            )
+        beta = np.zeros((X_adv.shape[0], self.structure.n_nodes), dtype=np.int8)
+        beta[:, 0] = 1
+        for idx, is_adv, adv_pos, thresholds in self._levels:
+            live = beta[:, idx]
+            go_left = X_adv[:, adv_pos] <= thresholds
+            beta[:, 2 * idx + 1] = live * (~is_adv | go_left)
+            beta[:, 2 * idx + 2] = live * (~is_adv | ~go_left)
+        alpha = self._leaf_mask & (self.structure.leaf_label == classes[:, None])
+        return (alpha * beta).astype(np.int8)
+
+    def _alpha(self, predicted_class: int) -> np.ndarray:
+        alpha = self._alpha_cache.get(predicted_class)
+        if alpha is None:
+            alpha = np.zeros(self.structure.n_nodes, dtype=np.int8)
+            alpha[self._leaf_mask & (self.structure.leaf_label == predicted_class)] = 1
+            self._alpha_cache[predicted_class] = alpha
+        return alpha
+
+    def _restrict_slow(self, x_adv: np.ndarray, predicted_class: int) -> np.ndarray:
+        """Seed reference: per-node Python BFS; kept as the restrict oracle."""
         x_adv = check_vector(x_adv, name="x_adv")
         if x_adv.shape[0] != self.view.d_adv:
             raise AttackError(
@@ -142,11 +230,19 @@ class PathRestrictionAttack:
         leaf = int(rng.choice(candidates))
         return PathRestrictionResult(
             candidate_leaves=candidates,
-            selected_path=self.structure.path_to(leaf),
-            n_paths_total=self.structure.n_prediction_paths(),
+            selected_path=self.cached_path(leaf),
+            n_paths_total=self._n_paths,
             n_paths_restricted=int(candidates.size),
             indicator=indicator,
         )
+
+    def cached_path(self, leaf: int) -> list[int]:
+        """Root-to-leaf slot path, memoized per leaf (fresh list per call)."""
+        path = self._leaf_paths.get(leaf)
+        if path is None:
+            path = self.structure.path_to(leaf)
+            self._leaf_paths[leaf] = path
+        return list(path)
 
     def infer_intervals(
         self,
@@ -161,15 +257,24 @@ class PathRestrictionAttack:
         interval: going left imposes ``value <= threshold``, going right
         ``value > threshold``. Features the path never tests keep the full
         ``(low, high)`` range and are omitted.
+
+        Results are memoized per ``(path, low, high)`` — the restriction
+        loop revisits the same few candidate leaves for every sample, so
+        the hot path pays one walk per distinct leaf. Each call returns a
+        fresh dict; the intervals themselves are unchanged.
         """
-        intervals: dict[int, tuple[float, float]] = {}
-        for feature, threshold, went_left in path_branch_decisions(self.structure, path):
-            if feature in self._adv_features:
-                continue
-            lo, hi = intervals.get(feature, (low, high))
-            if went_left:
-                hi = min(hi, threshold)
-            else:
-                lo = max(lo, threshold)
-            intervals[feature] = (lo, hi)
-        return intervals
+        key = (tuple(path), low, high)
+        cached = self._interval_cache.get(key)
+        if cached is None:
+            cached = {}
+            for feature, threshold, went_left in path_branch_decisions(self.structure, path):
+                if feature in self._adv_features:
+                    continue
+                lo, hi = cached.get(feature, (low, high))
+                if went_left:
+                    hi = min(hi, threshold)
+                else:
+                    lo = max(lo, threshold)
+                cached[feature] = (lo, hi)
+            self._interval_cache[key] = cached
+        return dict(cached)

@@ -53,12 +53,14 @@ class RandomForestClassifier(BaseClassifier):
         self.min_samples_leaf = check_positive_int(min_samples_leaf, name="min_samples_leaf")
         self.rng = check_random_state(rng)
         self.trees_: list[DecisionTreeClassifier] = []
+        self._stacked: list[tuple] | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit ``n_trees`` independent trees on bootstrap resamples."""
         X, y = self._validate_fit_inputs(X, y)
         n = X.shape[0]
         self.trees_ = []
+        self._stacked = None
         rngs = spawn_rngs(self.rng, self.n_trees)
         for tree_rng in rngs:
             if self.bootstrap:
@@ -86,15 +88,68 @@ class RandomForestClassifier(BaseClassifier):
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Fraction of trees voting for each class (paper Eqn in §II-A)."""
+        """Fraction of trees voting for each class (paper Eqn in §II-A).
+
+        Per tree, every internal node's branch decision is evaluated in
+        one contiguous column gather-and-compare (a ``(n, n_internal)``
+        bit matrix), and the leaf descent is ``depth`` arithmetic steps
+        of ``2i + 1 + bit`` — no per-sample Python walk and no random
+        gathers into ``X``. Votes accumulate exactly like the retained
+        :meth:`_predict_proba_slow` reference (small exact integer
+        counts), so the fractions are bit-identical to seed.
+        """
+        X = self._validate_predict_input(X)
+        if not self.trees_:
+            raise NotFittedError("forest has no trees; call fit first")
+        n = X.shape[0]
+        rows = np.arange(n)
+        votes = np.zeros((n, self.n_classes_))
+        for is_leaf, leaf_label, depth, feats, thresholds, internal_pos in self._tree_tables():
+            node = np.zeros(n, dtype=np.int64)
+            if feats.size:
+                bits = X[:, feats] > thresholds  # right-branch decisions
+                for _ in range(depth):
+                    active = ~is_leaf[node]
+                    if not active.any():
+                        break
+                    node = np.where(
+                        active, 2 * node + 1 + bits[rows, internal_pos[node]], node
+                    )
+            votes[rows, leaf_label[node]] += 1.0
+        return votes / len(self.trees_)
+
+    def _predict_proba_slow(self, X: np.ndarray) -> np.ndarray:
+        """Seed reference: per-tree, per-sample vote loop; kept as oracle."""
         X = self._validate_predict_input(X)
         if not self.trees_:
             raise NotFittedError("forest has no trees; call fit first")
         votes = np.zeros((X.shape[0], self.n_classes_))
         for tree in self.trees_:
-            labels = tree.predict(X)
+            labels = tree._predict_slow(X)
             votes[np.arange(X.shape[0]), labels] += 1.0
         return votes / len(self.trees_)
+
+    def _tree_tables(self) -> list[tuple]:
+        """Per-tree decision tables for the vectorized vote kernel."""
+        if self._stacked is None:
+            tables = []
+            for tree in self.trees_:
+                s = tree._flat_structure()
+                internal = np.flatnonzero(s.exists & ~s.is_leaf)
+                internal_pos = np.zeros(s.n_nodes, dtype=np.int64)
+                internal_pos[internal] = np.arange(internal.size)
+                tables.append(
+                    (
+                        s.is_leaf,
+                        s.leaf_label,
+                        s.depth,
+                        s.feature[internal],
+                        s.threshold[internal],
+                        internal_pos,
+                    )
+                )
+            self._stacked = tables
+        return self._stacked
 
     def tree_structures(self) -> list[TreeStructure]:
         """Full-binary-tree exports of every member tree (for CBR metrics)."""

@@ -65,6 +65,74 @@ def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     return (diff * diff).mean()
 
 
+def fused_mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """:func:`mse_loss` collapsed into one graph node.
+
+    The composed expression ``((p - t) * (p - t)).mean()`` builds five
+    tensor nodes and materializes each intermediate; this kernel runs the
+    same numpy operations in the same order (so the value is bit-identical)
+    and hand-writes the single gradient the composition produces:
+    ``g = (upstream / N) * diff`` accumulated as ``g + g``, exactly the
+    double accumulation of the shared ``diff`` operand.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    if target.requires_grad:  # pragma: no cover - not used on the hot path
+        return mse_loss(prediction, target)
+    diff = prediction.data + (target.data * -1.0)
+    inv_n = 1.0 / diff.size
+    out_data = (diff * diff).sum() * inv_n
+    requires = prediction.requires_grad
+
+    def backward(grad: np.ndarray) -> None:
+        if prediction.requires_grad:
+            g = (grad * inv_n) * diff
+            prediction._accumulate(g + g)
+
+    return Tensor(out_data, requires, (prediction,), backward if requires else None, "fused_mse")
+
+
+def hinged_variance_penalty(x: Tensor, threshold: float, weight: float) -> Tensor:
+    """``((x.var(axis=0) - threshold).relu()).mean() * weight`` in one node.
+
+    GRNA's variance regularizer Ω (§V-A). The composed graph spans ~12
+    nodes per training step; this kernel replays the identical numpy
+    operation sequence forward, and the backward reproduces the
+    composition's two gradient accumulations into ``x`` — the centered
+    ``(x - mean)`` term followed by the mean-path broadcast — in the same
+    order with the same intermediate values, so generator training is
+    bit-for-bit unchanged.
+    """
+    if x.ndim != 2:
+        raise ShapeError(f"hinged_variance_penalty requires a 2-D tensor, got {x.shape}")
+    m, d = x.shape
+    inv_m = 1.0 / m
+    inv_d = 1.0 / d
+    mu = x.data.sum(axis=0, keepdims=True) * inv_m
+    diff = x.data + (mu * -1.0)
+    var = (diff * diff).sum(axis=0) * inv_m
+    excess = var + (float(threshold) * -1.0)
+    mask = excess > 0
+    out_data = np.where(mask, excess, 0.0).sum() * inv_d * weight
+    requires = x.requires_grad
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g_col = np.broadcast_to((grad * weight) * inv_d, mask.shape).copy() * mask
+        g_rows = np.broadcast_to(np.expand_dims(g_col * inv_m, 0), (m, d)).copy()
+        g_center = g_rows * diff
+        g_center = g_center + g_center
+        x._accumulate(g_center)
+        g_mean = (g_center.sum(axis=(0,), keepdims=True) * -1.0) * inv_m
+        x._accumulate(np.broadcast_to(g_mean, (m, d)).copy())
+
+    return Tensor(out_data, requires, (x,), backward if requires else None, "fused_var_penalty")
+
+
 def binary_cross_entropy(prediction: Tensor, target: Tensor | np.ndarray, eps: float = 1e-12) -> Tensor:
     """Mean binary cross-entropy between probabilities and 0/1 targets."""
     target = target if isinstance(target, Tensor) else Tensor(target)

@@ -488,3 +488,62 @@ def stack_rows(tensors: Iterable[Tensor]) -> Tensor:
     tensors = [_ensure_tensor(t) for t in tensors]
     reshaped = [t.reshape(1, -1) if t.ndim == 1 else t for t in tensors]
     return concat(reshaped, axis=0)
+
+
+def assemble_columns(
+    constant: np.ndarray,
+    variable: Tensor,
+    constant_positions: np.ndarray,
+    variable_positions: np.ndarray,
+) -> Tensor:
+    """Scatter a constant block and a tensor block into interleaved columns.
+
+    Single-node fusion of ``concat([constant, variable], axis=1)[:, perm]``
+    — the "x_adv ∪ x̂_target" reassembly on GRNA's training hot path
+    (Algorithm 2 line 9). The forward is one scatter instead of a
+    concatenate plus a full-width gather, and the backward is one gather
+    of the variable columns instead of an ``np.add.at`` scatter over the
+    full joint width. Both the output and the gradient bytes are
+    identical to the composition this replaces: the positions partition
+    the column range, so ``add.at`` degenerates to assignment, and the
+    trailing ``+ 0.0`` reproduces its ``0.0 + g`` zero-sign behavior.
+    """
+    constant = np.asarray(constant, dtype=np.float64)
+    if constant.ndim != 2 or variable.ndim != 2:
+        raise ShapeError(
+            f"assemble_columns requires 2-D blocks, got {constant.shape} and {variable.shape}"
+        )
+    if constant.shape[0] != variable.shape[0]:
+        raise ShapeError(
+            f"row mismatch: {constant.shape[0]} vs {variable.shape[0]}"
+        )
+    constant_positions = np.asarray(constant_positions, dtype=np.int64)
+    variable_positions = np.asarray(variable_positions, dtype=np.int64)
+    width = constant_positions.size + variable_positions.size
+    if constant.shape[1] != constant_positions.size or variable.shape[1] != variable_positions.size:
+        raise ShapeError(
+            "column positions do not match block widths: "
+            f"{constant.shape[1]}/{constant_positions.size} and "
+            f"{variable.shape[1]}/{variable_positions.size}"
+        )
+    combined = np.concatenate([constant_positions, variable_positions])
+    combined.sort()
+    if not np.array_equal(combined, np.arange(width)):
+        raise ValidationError(
+            "constant_positions and variable_positions must partition "
+            f"the output columns 0..{width - 1} exactly"
+        )
+    # Column-major on purpose: the composition this fuses ends in a
+    # column-gather (`concat(...)[:, perm]`) whose result numpy lays out
+    # F-contiguously, and BLAS picks its reassociation by operand layout —
+    # a C-ordered buffer here would flip downstream matmul bits by 1 ulp.
+    out_data = np.empty((constant.shape[0], width), order="F")
+    out_data[:, constant_positions] = constant
+    out_data[:, variable_positions] = variable.data
+    requires = variable.requires_grad
+
+    def backward(grad: np.ndarray) -> None:
+        if variable.requires_grad:
+            variable._accumulate(grad[:, variable_positions] + 0.0)
+
+    return Tensor(out_data, requires, (variable,), backward if requires else None, "assemble")

@@ -187,6 +187,71 @@ class TestRefactorEquivalence:
             assert fig7_run_unit(unit, TINY) == legacy_fig7_run_unit(unit, TINY)
 
 
+def _force_seed_kernels(monkeypatch):
+    """Route every vectorized hot path back onto its retained seed kernel.
+
+    Covers tree growing (`_best_split_slow`), tree/forest prediction
+    (`_predict_slow` / `_predict_proba_slow`), PRA restriction
+    (`_restrict_slow`), GRNA's composed-graph loss, and the allocating
+    Adam step — i.e. the complete pre-PR model layer.
+    """
+    from repro.attacks.grna import GenerativeRegressionNetwork
+    from repro.attacks.pra import PathRestrictionAttack
+    from repro.models.forest import RandomForestClassifier
+    from repro.models.tree import DecisionTreeClassifier
+    from repro.nn.optim import Adam
+    from repro.utils.numeric import one_hot
+
+    def slow_proba(self, X):
+        return one_hot(self._predict_slow(X), self.n_classes_)
+
+    def slow_restrict_batch(self, X_adv, predicted_classes):
+        X_adv = np.atleast_2d(np.asarray(X_adv, dtype=np.float64))
+        classes = np.asarray(predicted_classes, dtype=np.int64).ravel()
+        return np.stack(
+            [self._restrict_slow(X_adv[i], int(c)) for i, c in enumerate(classes)]
+        )
+
+    monkeypatch.setattr(DecisionTreeClassifier, "_fast_split", False)
+    monkeypatch.setattr(
+        DecisionTreeClassifier, "predict", DecisionTreeClassifier._predict_slow
+    )
+    monkeypatch.setattr(DecisionTreeClassifier, "predict_proba", slow_proba)
+    monkeypatch.setattr(
+        RandomForestClassifier,
+        "predict_proba",
+        RandomForestClassifier._predict_proba_slow,
+    )
+    monkeypatch.setattr(PathRestrictionAttack, "restrict_batch", slow_restrict_batch)
+    monkeypatch.setattr(GenerativeRegressionNetwork, "_fast_loss", False)
+    monkeypatch.setattr(Adam, "_fast_step", False)
+
+
+class TestKernelEquivalence:
+    """DT/RF scenario cells are bit-identical under forced seed kernels.
+
+    The perf PR vectorized the model-layer hot loops but retained each
+    seed implementation behind a dispatch flag; re-running whole figure
+    cells with every flag forced slow must reproduce the fast payloads
+    exactly — covering tree fit + predict (fig6/PRA) and forest voting +
+    distillation + GRNA training (fig7/RF, fig7/NN) end to end.
+    """
+
+    def test_fig6_dt_cell_bit_identical_under_seed_kernels(self, monkeypatch):
+        units = list(fig6_units(TINY, datasets=("bank",), seed=6))
+        fast = [fig6_run_unit(unit, TINY) for unit in units]
+        _force_seed_kernels(monkeypatch)
+        slow = [fig6_run_unit(unit, TINY) for unit in units]
+        assert fast == slow
+
+    def test_fig7_rf_and_nn_cells_bit_identical_under_seed_kernels(self, monkeypatch):
+        units = list(fig7_units(TINY, datasets=("bank",), models=("rf", "nn"), seed=7))
+        fast = [fig7_run_unit(unit, TINY) for unit in units]
+        _force_seed_kernels(monkeypatch)
+        slow = [fig7_run_unit(unit, TINY) for unit in units]
+        assert fast == slow
+
+
 class TestServingEquivalence:
     """The metered serving boundary is invisible at default knobs.
 
