@@ -15,10 +15,11 @@ bench:
 bench-baseline:
 	$(PY) -m repro.bench --seed-baseline
 
-## bench-smoke: kernel + serving throughput checks at tiny scale (regression-gated)
+## bench-smoke: kernel + serving + federation checks at tiny scale (regression-gated)
 bench-smoke:
 	$(PY) -m repro.bench --smoke
 	$(PY) benchmarks/bench_service.py --tiny
+	$(PY) benchmarks/bench_federation.py --tiny
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -40,6 +41,7 @@ docs-check:
 	grep -q 'run_scenario' README.md
 	grep -q 'repro-experiments' README.md
 	grep -q 'query_budget' README.md
+	grep -q 'comm_budget' README.md
 	grep -q 'repro-bench' README.md
 	grep -q 'BENCH_vectorized' README.md
 	grep -q 'trial_units' docs/architecture.md
@@ -47,8 +49,13 @@ docs-check:
 	grep -q 'DefenseStack' docs/architecture.md
 	grep -q 'PredictionService' docs/architecture.md
 	grep -q 'on_query' docs/architecture.md
+	grep -q '## Federation runtime' docs/architecture.md
+	grep -q 'CommLedger' docs/architecture.md
+	grep -q 'TopologyConfig' docs/architecture.md
 	grep -q '## Performance' docs/architecture.md
 	grep -q 'repro-bench' docs/architecture.md
+	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
+	    assert all(getattr(f, n).__doc__ for n in ('Message', 'Transport', 'CommLedger', 'FederationRuntime', 'TopologyConfig', 'FaultPlan'))"
 	$(PY) -c "import repro.bench as b; assert b.__doc__ and 'repro-bench' in b.__doc__; \
 	    assert all(getattr(b, n).__doc__ for n in ('run_bench', 'regression_failures', 'KernelResult'))"
 	$(PY) -m repro.experiments --help > /dev/null

@@ -32,6 +32,7 @@ from repro import (
     defenses,
     experiments,
     federated,
+    federation,
     metrics,
     models,
     nn,
@@ -40,7 +41,7 @@ from repro import (
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "api",
@@ -49,6 +50,7 @@ __all__ = [
     "defenses",
     "experiments",
     "federated",
+    "federation",
     "metrics",
     "models",
     "nn",

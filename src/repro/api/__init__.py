@@ -61,6 +61,12 @@ from repro.api.scenario import (
     run_scenario,
 )
 from repro.serving import PredictionService, QueryBudgetExceededError, QueryLedger
+from repro.federation import (
+    CommBudgetExceededError,
+    CommLedger,
+    FederationRuntime,
+    TopologyConfig,
+)
 
 __all__ = [
     "Registry",
@@ -90,4 +96,8 @@ __all__ = [
     "PredictionService",
     "QueryBudgetExceededError",
     "QueryLedger",
+    "FederationRuntime",
+    "CommLedger",
+    "CommBudgetExceededError",
+    "TopologyConfig",
 ]

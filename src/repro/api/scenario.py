@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.api.attacks import ATTACKS, ScenarioAttack
 from repro.api.datasets import DATASETS
-from repro.api.defenses import DefenseStack, unwrap_model
+from repro.api.defenses import Defense, DefenseStack, unwrap_model
 from repro.api.models import MODELS, make_model
 from repro.attacks import AttackResult, RandomGuessAttack, random_path
 from repro.config import ScaleConfig, get_scale
@@ -52,6 +52,7 @@ from repro.federated import (
     VerticalFLModel,
     train_vertical_model,
 )
+from repro.federation import SCHEDULERS, FederationRuntime, TopologyConfig
 from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr, reconstruction_cbr
 from repro.models import BaseClassifier
 from repro.nn.data import train_test_split
@@ -68,6 +69,29 @@ __all__ = [
 
 #: Baseline names accepted by :attr:`ScenarioConfig.baselines`.
 BASELINES = ("uniform", "gaussian", "path")
+
+
+def _check_comm_budget(value: "int | float | None") -> None:
+    """Shared validation for the ``comm_budget`` knob.
+
+    ``None`` is unmetered, an ``int`` is absolute bytes (positive), a
+    ``float`` is a fraction in ``(0, 1]`` of the accumulation's exact
+    projected traffic. One helper for both the config validator and
+    direct :func:`build_scenario` callers, so the two paths cannot
+    drift.
+    """
+    if value is None:
+        return
+    if isinstance(value, float):
+        if not 0.0 < value <= 1.0:
+            raise ScenarioError(
+                f"a fractional comm_budget must lie in (0, 1], got {value}"
+            )
+    elif not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ScenarioError(
+            "comm_budget must be positive bytes (int), a fraction in "
+            f"(0, 1], or None, got {value!r}"
+        )
 
 
 @dataclass
@@ -95,6 +119,11 @@ class VFLScenario:
         metered query boundary the accumulated ``V`` came through, and
         the attack's only route to further predictions or the released
         model.
+    runtime:
+        The deployment's :class:`~repro.federation.FederationRuntime` —
+        the message-passing protocol the service drives; its
+        :class:`~repro.federation.CommLedger` holds the scenario's
+        communication cost.
     """
 
     dataset: Dataset
@@ -108,6 +137,7 @@ class VFLScenario:
     y_pred: np.ndarray
     meta: dict[str, Any] = field(default_factory=dict)
     service: "PredictionService | None" = None
+    runtime: "FederationRuntime | None" = None
 
 
 def build_scenario(
@@ -127,6 +157,9 @@ def build_scenario(
     cache: bool = False,
     on_budget_exhausted: str = "raise",
     consumer: str = "scenario",
+    topology: TopologyConfig | None = None,
+    comm_budget: "int | float | None" = None,
+    scheduler: str = "sequential",
 ) -> VFLScenario:
     """Construct one complete attack scenario.
 
@@ -169,6 +202,27 @@ def build_scenario(
     consumer:
         Ledger name the accumulation is charged to (the facade passes
         the attack's registry key).
+    topology:
+        Party layout (:class:`~repro.federation.TopologyConfig`):
+        N-party feature apportionment, colluders joining the adversary
+        view, and injected faults. ``None`` (and the default config) is
+        the paper's two-block setting, bit-identical to the historical
+        partition draw.
+    comm_budget:
+        Byte budget on the federation runtime's
+        :class:`~repro.federation.CommLedger`. An ``int`` is absolute
+        bytes; a ``float`` in ``(0, 1]`` is resolved against
+        :meth:`~repro.federation.FederationRuntime.estimate_predict_bytes`
+        for this scenario's accumulation (so ``0.5`` means "half the
+        traffic the undefended accumulation needs"), floored at the
+        first protocol round's cost so a fraction always yields an
+        attackable pool. Exhaustion follows
+        ``on_budget_exhausted``: raise
+        :class:`~repro.exceptions.CommBudgetExceededError`, or truncate
+        the pool at the last affordable protocol round.
+    scheduler:
+        Federation round scheduler (``"sequential"``/``"threaded"``);
+        both are bit-identical, threading overlaps party work.
     """
     n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
     streams = spawn_rngs(seed, n_streams)
@@ -177,10 +231,36 @@ def build_scenario(
 
     dataset = load_dataset(dataset_name, n_samples=scale.n_samples, rng=data_rng)
     X, y = dataset.X, dataset.y
-    partition = FeaturePartition.adversary_target(
-        dataset.n_features, target_fraction, rng=part_rng
-    )
-    view = partition.adversary_view()
+    if (
+        topology is not None
+        and not topology.is_default_partition
+        and defense_stack is not None
+        and any(type(d).screen is not Defense.screen for d in defense_stack)
+    ):
+        raise IncompatibleScenarioError(
+            "screening defenses rebuild the partition as the two-block "
+            "adversary view, which would silently discard a non-default "
+            "party topology; run screening on the default 2-party layout"
+        )
+    if topology is None or topology.is_default_partition:
+        # The historical two-block draw, bit-for-bit (from_topology
+        # reduces to it, but the seed path stays textually untouched).
+        partition = FeaturePartition.adversary_target(
+            dataset.n_features, target_fraction, rng=part_rng
+        )
+    else:
+        topology.validate()
+        partition = FeaturePartition.from_topology(
+            dataset.n_features,
+            target_fraction,
+            n_parties=topology.n_parties,
+            colluders=topology.colluders,
+            strategy=topology.partition,
+            rng=part_rng,
+            **topology.partition_params,
+        )
+    colluders = () if topology is None else tuple(topology.colluders)
+    view = partition.adversary_view(colluders)
     meta: dict[str, Any] = {}
     if defense_rng is not None:
         X, partition, view, meta = defense_stack.screen(
@@ -209,8 +289,35 @@ def build_scenario(
     picked = check_random_state(pick_rng).choice(
         X_pool.shape[0], size=n_pred, replace=False
     )
+    runtime = FederationRuntime(
+        vfl,
+        scheduler=scheduler,
+        faults=None if topology is None else topology.fault_plan(),
+    )
+    _check_comm_budget(comm_budget)
+    if comm_budget is not None:
+        if isinstance(comm_budget, float):
+            # A fractional budget prices this very accumulation: 1.0 is
+            # exactly the undefended run's projected wire bytes. Floored
+            # at the first round's cost — a fraction asks for a *portion*
+            # of the pool, and a budget below one round serves nothing;
+            # use absolute bytes to study that regime.
+            total = runtime.estimate_predict_bytes(n_pred, max_batch=batch_size)
+            per_round = (
+                total
+                if batch_size is None
+                else runtime.estimate_predict_bytes(
+                    min(n_pred, int(batch_size)), max_batch=batch_size
+                )
+            )
+            runtime.ledger.byte_budget = max(
+                int(np.ceil(comm_budget * total)), per_round
+            )
+        else:
+            runtime.ledger.byte_budget = int(comm_budget)
     service = PredictionService(
         vfl,
+        runtime=runtime,
         defense_stack=defense_stack,
         query_budget=query_budget,
         max_batch=batch_size,
@@ -218,10 +325,18 @@ def build_scenario(
         rng=defense_rng,
         exhaustion=on_budget_exhausted,
     )
-    V = service.query(picked, consumer=consumer)
+    try:
+        V = service.query(picked, consumer=consumer)
+    finally:
+        # Release any threaded-scheduler workers now that the bulk
+        # accumulation is done; a later query through the retained
+        # service lazily recreates the pool, so sweeps that keep many
+        # reports alive do not pin one idle executor per scenario.
+        runtime.close()
     if V.shape[0] == 0:
         raise ScenarioError(
-            "the query budget allowed no predictions at all; nothing to attack"
+            "the deployment's budgets (query or communication) allowed no "
+            "predictions at all; nothing to attack"
         )
     if V.shape[0] < picked.size:
         # Truncate mode: the budget bound mid-accumulation; the scenario
@@ -241,6 +356,7 @@ def build_scenario(
         y_pred=y_pool[picked],
         meta=meta,
         service=service,
+        runtime=runtime,
     )
     if defense_rng is not None:
         scenario = defense_stack.apply_release_filter(scenario)
@@ -265,6 +381,16 @@ class ScenarioConfig:
     ``on_budget_exhausted`` chooses between a clean
     :class:`~repro.exceptions.QueryBudgetExceededError` (``"raise"``) and
     attacking whatever prefix the budget allowed (``"truncate"``).
+
+    The federation knobs shape the protocol underneath the service:
+    ``topology`` (a :class:`~repro.federation.TopologyConfig`) sets the
+    party count, colluders, column-apportionment strategy, and injected
+    faults; ``comm_budget`` caps the wire bytes the protocol may move
+    (absolute ``int`` bytes, or a ``float`` fraction of the undefended
+    accumulation's exact projected traffic); ``scheduler`` picks
+    sequential or threaded round execution (bit-identical either way).
+    The defaults — two-block topology, no budget, sequential — reproduce
+    the historical scenario bit-for-bit.
     """
 
     dataset: str
@@ -283,6 +409,9 @@ class ScenarioConfig:
     batch_size: int | None = None
     cache: bool = False
     on_budget_exhausted: str = "raise"
+    topology: "TopologyConfig | None" = None
+    comm_budget: "int | float | None" = None
+    scheduler: str = "sequential"
 
 
 @dataclass
@@ -309,6 +438,13 @@ class ScenarioReport:
         Chargeable prediction queries the deployment's ledger recorded
         for this scenario — what the attack *cost* at the serving
         boundary.
+    comm_cost:
+        Snapshot of the federation runtime's
+        :class:`~repro.federation.CommLedger` (total ``bytes``,
+        ``messages``, ``rounds``, per-edge breakdown) — what the attack
+        cost at the *protocol* boundary. Empty for reports whose
+        scenario never ran a federation protocol (e.g. prebuilt legacy
+        scenarios).
     """
 
     config: ScenarioConfig
@@ -316,6 +452,7 @@ class ScenarioReport:
     result: "AttackResult | None"
     metrics: dict[str, Any]
     queries_used: int = 0
+    comm_cost: dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-paragraph human-readable digest (used by the examples)."""
@@ -324,6 +461,8 @@ class ScenarioReport:
             details.append(f"d_target={self.scenario.view.d_target}")
         details.append(f"defenses={list(self.config.defenses) or 'none'}")
         details.append(f"queries={self.queries_used}")
+        if self.comm_cost:
+            details.append(f"comm_bytes={self.comm_cost.get('bytes', 0)}")
         parts = [
             f"{self.config.attack} on {self.config.model}/{self.config.dataset}"
             f" ({', '.join(details)})"
@@ -364,9 +503,15 @@ class ScenarioReport:
                 "batch_size": config.batch_size,
                 "cache": config.cache,
                 "on_budget_exhausted": config.on_budget_exhausted,
+                "topology": (
+                    None if config.topology is None else config.topology.to_payload()
+                ),
+                "comm_budget": config.comm_budget,
+                "scheduler": config.scheduler,
             },
             "metrics": self.metrics,
             "queries_used": self.queries_used,
+            "comm_cost": dict(self.comm_cost),
         }
 
     @classmethod
@@ -395,6 +540,15 @@ class ScenarioReport:
             batch_size=data["batch_size"],
             cache=data["cache"],
             on_budget_exhausted=data["on_budget_exhausted"],
+            # .get(): payloads persisted before the federation runtime
+            # existed carry none of these keys and mean the defaults.
+            topology=(
+                None
+                if data.get("topology") is None
+                else TopologyConfig.from_payload(data["topology"])
+            ),
+            comm_budget=data.get("comm_budget"),
+            scheduler=data.get("scheduler", "sequential"),
         )
         return cls(
             config=config,
@@ -402,6 +556,7 @@ class ScenarioReport:
             result=None,
             metrics=dict(payload["metrics"]),
             queries_used=int(payload["queries_used"]),
+            comm_cost=dict(payload.get("comm_cost", {})),
         )
 
     def to_json(self) -> str:
@@ -506,6 +661,14 @@ def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStac
             "on_budget_exhausted must be 'raise' or 'truncate', got "
             f"{config.on_budget_exhausted!r}"
         )
+    if config.scheduler not in SCHEDULERS:
+        raise ScenarioError(
+            f"unknown scheduler {config.scheduler!r}; choose from "
+            f"{sorted(SCHEDULERS)}"
+        )
+    _check_comm_budget(config.comm_budget)
+    if config.topology is not None:
+        config.topology.validate()
 
 
 def _compute_metrics(
@@ -634,12 +797,16 @@ def run_scenario(
         or config.batch_size is not None
         or config.cache
         or config.on_budget_exhausted != "raise"
+        or config.topology is not None
+        or config.comm_budget is not None
+        or config.scheduler != "sequential"
     ):
         raise ScenarioError(
-            "serving knobs (query_budget/batch_size/cache/on_budget_exhausted) "
-            "configure the deployment when the scenario is built and cannot "
-            "apply to a prebuilt scenario; set them on build_scenario (or on "
-            "its service) instead"
+            "serving and federation knobs (query_budget/batch_size/cache/"
+            "on_budget_exhausted/topology/comm_budget/scheduler) configure "
+            "the deployment when the scenario is built and cannot apply to "
+            "a prebuilt scenario; set them on build_scenario (or on its "
+            "service) instead"
         )
 
     if scenario is None:
@@ -657,6 +824,9 @@ def run_scenario(
             cache=config.cache,
             on_budget_exhausted=config.on_budget_exhausted,
             consumer=config.attack,
+            topology=config.topology,
+            comm_budget=config.comm_budget,
+            scheduler=config.scheduler,
         )
     attack.prepare(scenario, scale=scale, seed=config.seed)
     result = attack.run(scenario.X_adv, scenario.V)
@@ -666,10 +836,14 @@ def run_scenario(
         if scenario.service is not None
         else int(scenario.V.shape[0])
     )
+    comm_cost = (
+        scenario.runtime.ledger.as_dict() if scenario.runtime is not None else {}
+    )
     return ScenarioReport(
         config=config,
         scenario=scenario,
         result=result,
         metrics=metrics,
         queries_used=queries_used,
+        comm_cost=comm_cost,
     )

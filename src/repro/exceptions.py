@@ -56,6 +56,37 @@ class QueryBudgetExceededError(ReproError, RuntimeError):
     """
 
 
+class WireFormatError(ProtocolError):
+    """A federation message could not be decoded from its wire bytes.
+
+    Raised by the :mod:`repro.federation.message` codec on truncated
+    frames, bad magic, unsupported header versions, or payload dtypes the
+    wire format cannot carry. The message states what was expected so a
+    cross-version replay fails with a diagnosis, not a numpy shape error.
+    """
+
+
+class CommBudgetExceededError(ReproError, RuntimeError):
+    """A protocol message would exceed the federation's communication budget.
+
+    Raised by :class:`~repro.federation.CommLedger` when a metered
+    :class:`~repro.federation.Transport` send would cross the byte or
+    message budget. Mirrors :class:`QueryBudgetExceededError` one layer
+    down: queries meter what the adversary *learns*, the comm ledger
+    meters what the protocol *moves*.
+    """
+
+
+class PartyUnavailableError(ProtocolError):
+    """A party required by a protocol round has dropped out.
+
+    Raised by the federation runtime when fault injection marks a party
+    as dropped (or a node fails to produce its round message); names the
+    party and the round so stragglers and dropouts are distinguishable
+    from programming errors.
+    """
+
+
 class DatasetError(ValidationError):
     """A dataset specification or generated dataset is invalid."""
 

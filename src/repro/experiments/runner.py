@@ -44,6 +44,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig10": figures.fig10_correlations,
     "fig11": figures.fig11_defenses,
     "budget": figures.budget_sweep,
+    "comm": figures.comm_sweep,
 }
 
 

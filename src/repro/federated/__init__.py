@@ -1,6 +1,11 @@
 """Vertical federated learning substrate: parties, partitions, protocol."""
 
-from repro.federated.partition import AdversaryView, FeaturePartition
+from repro.federated.partition import (
+    AdversaryView,
+    FeaturePartition,
+    PARTITION_STRATEGIES,
+    partition_sizes,
+)
 from repro.federated.party import ActiveParty, Party, PassiveParty
 from repro.federated.model import VerticalFLModel, build_parties, train_vertical_model
 from repro.federated.psi import align_datasets, private_set_intersection
@@ -8,6 +13,8 @@ from repro.federated.psi import align_datasets, private_set_intersection
 __all__ = [
     "FeaturePartition",
     "AdversaryView",
+    "PARTITION_STRATEGIES",
+    "partition_sizes",
     "Party",
     "ActiveParty",
     "PassiveParty",

@@ -19,6 +19,87 @@ from repro.utils.random import check_random_state
 from repro.utils.validation import check_in_range, check_positive_int
 
 
+def _uniform_sizes(
+    n_columns: int, n_blocks: int, rng: "np.random.Generator | None"
+) -> list[int]:
+    """Spread columns as evenly as possible; consumes no randomness."""
+    base, extra = divmod(n_columns, n_blocks)
+    return [base + (1 if i < extra else 0) for i in range(n_blocks)]
+
+
+def _dirichlet_sizes(
+    n_columns: int,
+    n_blocks: int,
+    rng: "np.random.Generator | None",
+    *,
+    alpha: float = 0.5,
+) -> list[int]:
+    """Skewed block widths from a symmetric Dirichlet(alpha) draw.
+
+    Smaller ``alpha`` means more skew. Each block keeps at least one
+    column (the paper's partitions never leave a party empty); the
+    remaining ``n_columns - n_blocks`` columns are apportioned to the
+    drawn proportions by largest remainder, which is deterministic for a
+    given generator state. A single block consumes no randomness, so a
+    two-party Dirichlet topology stays bit-identical to the uniform one.
+    """
+    check_in_range(float(alpha), name="alpha", low=0.0, inclusive=False)
+    if n_blocks == 1:
+        return [n_columns]
+    proportions = check_random_state(rng).dirichlet(np.full(n_blocks, float(alpha)))
+    raw = proportions * (n_columns - n_blocks)
+    sizes = np.floor(raw).astype(np.int64) + 1
+    order = np.argsort(-(raw - np.floor(raw)), kind="stable")
+    for i in range(n_columns - int(sizes.sum())):
+        sizes[order[i]] += 1
+    return [int(s) for s in sizes]
+
+
+#: Registered block-width strategies for topology-driven partitions:
+#: ``"uniform"`` (equal widths) and ``"dirichlet"`` (skewed widths).
+PARTITION_STRATEGIES = {
+    "uniform": _uniform_sizes,
+    "dirichlet": _dirichlet_sizes,
+}
+
+
+def partition_sizes(
+    strategy: str,
+    n_columns: int,
+    n_blocks: int,
+    rng: "np.random.Generator | None" = None,
+    **params,
+) -> list[int]:
+    """Apportion ``n_columns`` over ``n_blocks`` parties by strategy key.
+
+    Unknown strategies fail with the registered choices listed; every
+    block is guaranteed at least one column (or the split is rejected).
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise PartitionError(
+            f"unknown partition strategy {strategy!r}; choose from "
+            f"{sorted(PARTITION_STRATEGIES)}"
+        )
+    check_positive_int(n_blocks, name="n_blocks")
+    if n_columns < n_blocks:
+        raise PartitionError(
+            f"cannot split {n_columns} columns over {n_blocks} parties; "
+            "every party needs at least one column"
+        )
+    try:
+        sizes = PARTITION_STRATEGIES[strategy](n_columns, n_blocks, rng, **params)
+    except TypeError as exc:
+        raise PartitionError(
+            f"strategy {strategy!r} rejected parameters {params}: {exc}"
+        ) from exc
+    if sum(sizes) != n_columns or min(sizes) < 1:
+        raise PartitionError(
+            f"strategy {strategy!r} produced invalid sizes {sizes} for "
+            f"{n_columns} columns"
+        )
+    return sizes
+
+
 @dataclass(frozen=True)
 class AdversaryView:
     """Two-block view of a partition: adversary columns vs target columns."""
@@ -147,6 +228,73 @@ class FeaturePartition:
         d_target = int(round(n_features * target_fraction))
         d_target = min(max(d_target, 1), n_features - 1)
         return cls.random_split(n_features, [n_features - d_target, d_target], rng=rng)
+
+    @classmethod
+    def from_topology(
+        cls,
+        n_features: int,
+        target_fraction: float,
+        *,
+        n_parties: int = 2,
+        colluders: tuple[int, ...] = (),
+        strategy: str = "uniform",
+        rng: np.random.Generator | int | None = None,
+        **strategy_params,
+    ) -> "FeaturePartition":
+        """N-party generalization of :meth:`adversary_target`.
+
+        ``target_fraction`` keeps its two-block meaning — that share of
+        the (randomly permuted) columns goes to the parties *outside*
+        the adversary coalition ``{0} ∪ colluders`` — and each side's
+        share is then apportioned over its parties by ``strategy`` (see
+        :data:`PARTITION_STRATEGIES`). Randomness is consumed in a fixed
+        order (permutation, coalition sizes, target sizes), and with the
+        defaults (two parties, uniform) the construction reduces to
+        exactly :meth:`adversary_target` — same draws, same blocks —
+        which is what keeps default scenario configs bit-identical.
+        """
+        check_in_range(
+            target_fraction, name="target_fraction", low=0.0, high=1.0, inclusive=False
+        )
+        check_positive_int(n_parties, name="n_parties")
+        if n_parties < 2:
+            raise PartitionError("a vertical partition needs at least 2 parties")
+        coalition = sorted({0, *(int(p) for p in colluders)})
+        if coalition[0] < 0 or coalition[-1] >= n_parties:
+            raise PartitionError(
+                f"colluding party ids {sorted(colluders)} outside [1, {n_parties})"
+            )
+        targets = [p for p in range(n_parties) if p not in coalition]
+        if not targets:
+            raise PartitionError(
+                "the coalition covers every party; no attack target left"
+            )
+        if n_features < n_parties:
+            raise PartitionError(
+                f"{n_parties} parties need at least {n_parties} features, "
+                f"got {n_features}"
+            )
+        d_target = int(round(n_features * target_fraction))
+        d_target = min(max(d_target, 1), n_features - 1)
+        # Every party on both sides still needs >= 1 column.
+        d_target = min(max(d_target, len(targets)), n_features - len(coalition))
+        rng = check_random_state(rng)
+        perm = rng.permutation(n_features)
+        coalition_sizes = partition_sizes(
+            strategy, n_features - d_target, len(coalition), rng, **strategy_params
+        )
+        target_sizes = partition_sizes(
+            strategy, d_target, len(targets), rng, **strategy_params
+        )
+        blocks_by_party: dict[int, np.ndarray] = {}
+        start = 0
+        for party, size in [
+            *zip(coalition, coalition_sizes),
+            *zip(targets, target_sizes),
+        ]:
+            blocks_by_party[party] = perm[start : start + size]
+            start += size
+        return cls(n_features, [blocks_by_party[p] for p in range(n_parties)])
 
     # ------------------------------------------------------------------
     # Accessors

@@ -45,14 +45,29 @@ def private_set_intersection(
     -------
     numpy.ndarray
         Sorted array of ids present in every party's set.
+
+    Raises
+    ------
+    ProtocolError
+        When a party's id set contains duplicates (a salted-digest PSI
+        has no defined multiset semantics — the duplicate ids are named
+        so the offending party can deduplicate), or when the
+        intersection is empty (no protocol can proceed on zero aligned
+        samples; failing here names the cause instead of surfacing an
+        empty-matrix shape error layers later).
     """
     if len(id_sets) < 2:
         raise ValidationError("PSI needs at least two parties")
     cleaned: list[np.ndarray] = []
     for i, ids in enumerate(id_sets):
         ids = np.asarray(ids, dtype=np.int64).ravel()
-        if np.unique(ids).size != ids.size:
-            raise ValidationError(f"party {i} has duplicate sample ids")
+        unique, counts = np.unique(ids, return_counts=True)
+        if unique.size != ids.size:
+            repeated = [int(s) for s in unique[counts > 1][:5]]
+            raise ProtocolError(
+                f"party {i} submitted duplicate sample ids to PSI "
+                f"(e.g. {repeated}); each party's id set must be unique"
+            )
         cleaned.append(ids)
 
     # Each party publishes only digests; the intersection is computed on
@@ -64,6 +79,11 @@ def private_set_intersection(
         sorted(int(s) for s in base if _digest(int(s), salt) in common_digests),
         dtype=np.int64,
     )
+    if common.size == 0:
+        raise ProtocolError(
+            f"PSI produced an empty intersection across {len(id_sets)} "
+            "parties; vertical FL requires at least one aligned sample"
+        )
     return common
 
 
@@ -82,8 +102,6 @@ def align_datasets(
         if len(np.asarray(ids).ravel()) != np.asarray(data).shape[0]:
             raise ProtocolError(f"party {i}: ids and data row counts differ")
     common = private_set_intersection(id_sets)
-    if common.size == 0:
-        raise ProtocolError("PSI produced an empty intersection")
     aligned = []
     for ids, data in zip(id_sets, datasets):
         ids = np.asarray(ids, dtype=np.int64).ravel()

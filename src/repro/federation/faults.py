@@ -1,0 +1,99 @@
+"""Fault injection for federation protocol rounds.
+
+Real multi-party deployments lose parties and wait on stragglers; the
+in-process simulation can now express both. A :class:`FaultPlan` is
+built from ``(kind, params)`` specs — the same shape as defense specs,
+so scenario configs serialize them — and handed to the
+:class:`~repro.federation.runtime.FederationRuntime`, whose party nodes
+consult it at response time:
+
+``("drop", {"party": p})``
+    Party ``p`` never answers; the round fails with
+    :class:`~repro.exceptions.PartyUnavailableError` naming the party
+    and round.
+``("straggler", {"party": p, "delay": seconds})``
+    Party ``p`` sleeps before responding. Under the threaded scheduler
+    the other parties proceed concurrently and the deterministic round
+    barrier still merges replies in party order, so a straggler costs
+    wall-clock time but never changes bytes or results.
+
+Unknown kinds fail with an error listing the registered choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_in_range
+
+__all__ = ["FAULT_KINDS", "FaultPlan"]
+
+#: Registered fault kinds and the params each spec accepts.
+FAULT_KINDS = ("drop", "straggler")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Resolved fault injection: which parties drop, which ones lag."""
+
+    dropped: frozenset = frozenset()
+    delays: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_specs(cls, specs) -> "FaultPlan":
+        """Build a plan from ``(kind, params)`` spec pairs.
+
+        Every kind needs at least a ``party`` parameter, so — unlike
+        defense specs — there is no bare-kind shorthand.
+        """
+        dropped: set[int] = set()
+        delays: dict[int, float] = {}
+        for spec in specs:
+            if isinstance(spec, (tuple, list)) and len(spec) == 2:
+                kind, params = spec[0], dict(spec[1])
+            else:
+                raise ValidationError(
+                    f"fault spec {spec!r} must be a (kind, params) pair, "
+                    f"e.g. ('drop', {{'party': 2}})"
+                )
+            if kind not in FAULT_KINDS:
+                raise ValidationError(
+                    f"unknown fault kind {kind!r}; choose from {list(FAULT_KINDS)}"
+                )
+            if "party" not in params:
+                raise ValidationError(
+                    f"fault spec {kind!r} needs a 'party' id to inject into"
+                )
+            party = int(params["party"])
+            if kind == "drop":
+                dropped.add(party)
+            else:
+                delay = check_in_range(
+                    float(params.get("delay", 0.001)), name="straggler delay", low=0.0
+                )
+                delays[party] = delay
+        return cls(dropped=frozenset(dropped), delays=delays)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.dropped and not self.delays
+
+    def validate_parties(self, n_parties: int) -> None:
+        """Check every referenced party id names a *passive* party.
+
+        Party 0 initiates rounds, so dropping or delaying it is a
+        mis-specification, not a simulable fault.
+        """
+        for party in sorted({*self.dropped, *self.delays}):
+            if party == 0:
+                raise ValidationError(
+                    "cannot inject faults into party 0: the active party "
+                    "initiates every protocol round"
+                )
+            if not 0 < party < n_parties:
+                raise ValidationError(
+                    f"fault references party {party}, but the topology has "
+                    f"parties 0..{n_parties - 1}"
+                )

@@ -55,7 +55,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.defenses.base import unwrap_model
-from repro.exceptions import ProtocolError, ValidationError
+from repro.exceptions import CommBudgetExceededError, ProtocolError, ValidationError
 from repro.federated.model import VerticalFLModel
 from repro.models.base import BaseClassifier
 from repro.serving.ledger import QueryLedger
@@ -145,16 +145,23 @@ class PredictionService:
         cache: bool = False,
         rng: "np.random.Generator | None" = None,
         exhaustion: str = "raise",
+        runtime=None,
     ) -> None:
         if ledger is not None and query_budget is not None:
             raise ValidationError(
                 "pass either an existing ledger or a query_budget, not both"
+            )
+        if runtime is not None and runtime.vfl is not vfl:
+            raise ValidationError(
+                "the federation runtime serves a different deployment than "
+                "the one handed to this service"
             )
         if exhaustion not in EXHAUSTION_MODES:
             raise ValidationError(
                 f"exhaustion must be one of {EXHAUSTION_MODES}, got {exhaustion!r}"
             )
         self.vfl = vfl
+        self.runtime = runtime
         self.defense_stack = defense_stack
         self.ledger = ledger if ledger is not None else QueryLedger(budget=query_budget)
         self.max_batch = (
@@ -210,7 +217,13 @@ class PredictionService:
         the cache where possible, and passed through the defense stack's
         ``on_query`` hooks. In ``truncate`` mode the returned matrix may
         be a prefix of the request — compare ``len(result)`` with the
-        request length to detect where the budget bound.
+        request length to detect where the budget bound. A federation
+        communication budget binds the same way: the round that cannot
+        afford its wire traffic raises
+        :class:`~repro.exceptions.CommBudgetExceededError` (its query
+        charge refunded — the consumer received nothing), or in
+        ``truncate`` mode ends the accumulation at the last affordable
+        round.
         """
         indices = np.asarray(sample_indices, dtype=np.int64).ravel()
         if indices.size == 0:
@@ -218,7 +231,17 @@ class PredictionService:
         blocks: list[np.ndarray] = []
         step = self.max_batch or indices.size
         for start in range(0, indices.size, step):
-            block, exhausted = self._serve_chunk(indices[start : start + step], consumer)
+            try:
+                block, exhausted = self._serve_chunk(
+                    indices[start : start + step], consumer
+                )
+            except CommBudgetExceededError:
+                if self.exhaustion == "truncate":
+                    # The refused round's query charge was refunded by
+                    # _serve_chunk; bytes already moved stay on the comm
+                    # ledger — partial traffic is genuinely spent.
+                    break
+                raise
             if block.size:
                 blocks.append(block)
             if exhausted:
@@ -317,11 +340,18 @@ class PredictionService:
         byte-compatible with the historical direct protocol call. (Pad
         rows cost duplicate entries in the protocol's prediction log;
         the ledger, which meters the adversary, never sees them.)
+
+        With a :class:`~repro.federation.FederationRuntime` attached,
+        the round executes as metered message-passing — byte-identical
+        output, every cross-party block charged to the runtime's
+        :class:`~repro.federation.CommLedger` — so one service chunk is
+        exactly one protocol round in the communication accounting.
         """
+        predict = self.vfl.predict if self.runtime is None else self.runtime.predict
         if self.max_batch is None or indices.size == self.max_batch:
-            return self.vfl.predict(indices)
+            return predict(indices)
         pad = np.full(self.max_batch - indices.size, indices[-1], dtype=np.int64)
-        return self.vfl.predict(np.concatenate([indices, pad]))[: indices.size]
+        return predict(np.concatenate([indices, pad]))[: indices.size]
 
     def _apply_on_query(
         self,

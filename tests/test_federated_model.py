@@ -165,11 +165,12 @@ class TestPSI:
         )
         np.testing.assert_array_equal(common, [3])
 
-    def test_empty_intersection(self):
-        assert private_set_intersection([np.array([1]), np.array([2])]).size == 0
+    def test_empty_intersection_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="empty intersection"):
+            private_set_intersection([np.array([1]), np.array([2])])
 
-    def test_duplicates_rejected(self):
-        with pytest.raises(ValidationError):
+    def test_duplicates_rejected_with_offenders_named(self):
+        with pytest.raises(ProtocolError, match=r"party 0.*duplicate.*\[1\]"):
             private_set_intersection([np.array([1, 1]), np.array([1])])
 
     def test_single_party_rejected(self):

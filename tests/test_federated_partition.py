@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import PartitionError, ValidationError
-from repro.federated import FeaturePartition
+from repro.federated import FeaturePartition, partition_sizes
 
 
 class TestConstruction:
@@ -135,3 +135,103 @@ class TestAdversaryView:
         p = FeaturePartition.contiguous(4, [1, 3])
         X = np.arange(8.0).reshape(2, 4)
         np.testing.assert_array_equal(p.columns_of(1, X), X[:, 1:])
+
+
+class TestPartitionStrategies:
+    """The registered block-width strategies behind N-party topologies."""
+
+    def test_uniform_sizes_spread_evenly(self):
+        assert partition_sizes("uniform", 10, 3) == [4, 3, 3]
+        assert partition_sizes("uniform", 9, 3) == [3, 3, 3]
+
+    def test_dirichlet_sizes_cover_and_floor(self):
+        for seed in range(10):
+            sizes = partition_sizes(
+                "dirichlet", 20, 4, rng=np.random.default_rng(seed)
+            )
+            assert sum(sizes) == 20 and min(sizes) >= 1
+
+    def test_dirichlet_is_actually_skewed(self):
+        """Across seeds, small alpha produces non-equal widths."""
+        draws = {
+            tuple(
+                partition_sizes(
+                    "dirichlet", 24, 3, rng=np.random.default_rng(seed), alpha=0.2
+                )
+            )
+            for seed in range(20)
+        }
+        assert any(max(sizes) - min(sizes) >= 4 for sizes in draws)
+
+    def test_dirichlet_single_block_consumes_no_randomness(self):
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state
+        assert partition_sizes("dirichlet", 5, 1, rng=rng) == [5]
+        assert rng.bit_generator.state == before
+
+    def test_unknown_strategy_lists_choices(self):
+        with pytest.raises(PartitionError, match=r"dirichlet.*uniform"):
+            partition_sizes("zipf", 10, 2)
+
+    def test_too_few_columns_rejected(self):
+        with pytest.raises(PartitionError, match="at least one column"):
+            partition_sizes("uniform", 2, 3)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            partition_sizes("dirichlet", 10, 2, rng=0, alpha=0.0)
+
+
+class TestFromTopology:
+    def test_two_party_uniform_is_adversary_target_bitwise(self):
+        """The N-party constructor reduces exactly to the seed draw."""
+        for seed in range(5):
+            for fraction in (0.2, 0.4, 0.7):
+                reference = FeaturePartition.adversary_target(
+                    13, fraction, rng=np.random.default_rng(seed)
+                )
+                general = FeaturePartition.from_topology(
+                    13, fraction, rng=np.random.default_rng(seed)
+                )
+                for party in range(2):
+                    np.testing.assert_array_equal(
+                        general.indices(party), reference.indices(party)
+                    )
+
+    def test_n_party_covers_all_features(self):
+        p = FeaturePartition.from_topology(20, 0.4, n_parties=5, rng=0)
+        assert p.n_parties == 5
+        combined = np.sort(np.concatenate([p.indices(i) for i in range(5)]))
+        np.testing.assert_array_equal(combined, np.arange(20))
+
+    def test_target_fraction_splits_coalition_vs_targets(self):
+        p = FeaturePartition.from_topology(
+            20, 0.4, n_parties=4, colluders=(1,), rng=0
+        )
+        view = p.adversary_view((1,))
+        # Coalition = parties {0, 1}; target share = round(20 * 0.4) = 8.
+        assert view.d_target == 8
+        assert view.d_adv == 12
+        coalition_cols = np.sort(
+            np.concatenate([p.indices(0), p.indices(1)])
+        )
+        np.testing.assert_array_equal(view.adversary_indices, coalition_cols)
+
+    def test_dirichlet_topology_stays_disjoint_and_complete(self):
+        p = FeaturePartition.from_topology(
+            30, 0.5, n_parties=6, strategy="dirichlet", rng=3, alpha=0.3
+        )
+        combined = np.sort(np.concatenate([p.indices(i) for i in range(6)]))
+        np.testing.assert_array_equal(combined, np.arange(30))
+
+    def test_all_colluders_rejected(self):
+        with pytest.raises(PartitionError, match="no attack target"):
+            FeaturePartition.from_topology(10, 0.4, n_parties=3, colluders=(1, 2))
+
+    def test_colluder_out_of_range_rejected(self):
+        with pytest.raises(PartitionError, match="outside"):
+            FeaturePartition.from_topology(10, 0.4, n_parties=3, colluders=(5,))
+
+    def test_too_many_parties_rejected(self):
+        with pytest.raises(PartitionError, match="at least"):
+            FeaturePartition.from_topology(3, 0.4, n_parties=4)
