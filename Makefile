@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke docs-check examples-smoke bench bench-smoke bench-baseline
+.PHONY: test smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving
 
 ## test: run the full test suite (tier-1 gate)
 test:
@@ -15,11 +15,16 @@ bench:
 bench-baseline:
 	$(PY) -m repro.bench --seed-baseline
 
+## bench-serving: full-scale sharded-serving throughput, writes BENCH_serving_scale.json
+bench-serving:
+	$(PY) benchmarks/bench_serving_scale.py
+
 ## bench-smoke: kernel + serving + federation checks at tiny scale (regression-gated)
 bench-smoke:
 	$(PY) -m repro.bench --smoke
 	$(PY) benchmarks/bench_service.py --tiny
 	$(PY) benchmarks/bench_federation.py --tiny
+	$(PY) benchmarks/bench_serving_scale.py --tiny
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -54,10 +59,17 @@ docs-check:
 	grep -q 'TopologyConfig' docs/architecture.md
 	grep -q '## Performance' docs/architecture.md
 	grep -q 'repro-bench' docs/architecture.md
+	grep -q '## Workload layer' docs/architecture.md
+	grep -q 'ShardedPredictionService' docs/architecture.md
+	grep -q 'make_trace' docs/architecture.md
+	grep -q 'repro.workload' README.md
+	grep -q 'BENCH_serving_scale' README.md
 	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
 	    assert all(getattr(f, n).__doc__ for n in ('Message', 'Transport', 'CommLedger', 'FederationRuntime', 'TopologyConfig', 'FaultPlan'))"
 	$(PY) -c "import repro.bench as b; assert b.__doc__ and 'repro-bench' in b.__doc__; \
 	    assert all(getattr(b, n).__doc__ for n in ('run_bench', 'regression_failures', 'KernelResult'))"
+	$(PY) -c "import repro.workload as w; assert w.__doc__ and 'TrafficTrace' in w.__doc__; \
+	    assert all(getattr(w, n).__doc__ for n in ('ShardedPredictionService', 'TrafficTrace', 'WorkloadReport', 'make_trace', 'attacker_trace', 'shard_of'))"
 	$(PY) -m repro.experiments --help > /dev/null
 	$(PY) -c "import repro.experiments as e; assert e.__doc__ and 'run_batch' in e.__doc__; \
 	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"

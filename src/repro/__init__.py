@@ -41,7 +41,7 @@ from repro import (
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "api",

@@ -356,6 +356,14 @@ class QueryAuditDefense(Defense):
     refused with :class:`~repro.exceptions.QueryBudgetExceededError`.
     The tally is readable on the instance (``seen``, ``duplicates``) and
     lands in the scenario's ``meta`` via the audit report.
+
+    Tallies are also kept **per consumer** (``consumer_queries``,
+    ``consumer_duplicates``) where a duplicate means "this consumer
+    re-requested content *it* already received" — the tenant-scoped
+    signal the workload layer's anomaly ranking is built on, and the one
+    that stays invariant under consumer-pinned sharding (the
+    deployment-wide ``seen`` tally mixes tenants, so per-shard instances
+    see different slices of it).
     """
 
     name = "query_audit"
@@ -368,6 +376,9 @@ class QueryAuditDefense(Defense):
         )
         self.seen: dict[str, int] = {}
         self.duplicates = 0
+        self.consumer_queries: dict[str, int] = {}
+        self.consumer_duplicates: dict[str, int] = {}
+        self._consumer_seen: dict[str, dict[str, int]] = {}
 
     def on_query(self, V: np.ndarray, context) -> np.ndarray:
         # Audit everything the chunk releases: freshly computed rows AND
@@ -383,11 +394,23 @@ class QueryAuditDefense(Defense):
             hashes = (
                 context.service.vfl.sample_hashes(indices) if indices.size else []
             )
+        consumer = context.consumer
+        if hashes:
+            self.consumer_queries[consumer] = self.consumer_queries.get(
+                consumer, 0
+            ) + len(hashes)
+        own = self._consumer_seen.setdefault(consumer, {})
         for digest in hashes:
             count = self.seen.get(digest, 0) + 1
             self.seen[digest] = count
             if count > 1:
                 self.duplicates += 1
+            own_count = own.get(digest, 0) + 1
+            own[digest] = own_count
+            if own_count > 1:
+                self.consumer_duplicates[consumer] = (
+                    self.consumer_duplicates.get(consumer, 0) + 1
+                )
             if self.max_repeats is not None and count > self.max_repeats:
                 raise QueryBudgetExceededError(
                     f"query audit: sample {digest[:12]}... requested {count} "
@@ -396,9 +419,14 @@ class QueryAuditDefense(Defense):
                 )
         return V
 
-    def report(self) -> dict[str, int]:
-        """Audit summary: distinct samples seen and duplicate requests."""
-        return {"distinct_samples": len(self.seen), "duplicates": self.duplicates}
+    def report(self) -> dict[str, Any]:
+        """Audit summary: distinct samples, duplicates, per-consumer tallies."""
+        return {
+            "distinct_samples": len(self.seen),
+            "duplicates": self.duplicates,
+            "consumer_queries": dict(self.consumer_queries),
+            "consumer_duplicates": dict(self.consumer_duplicates),
+        }
 
 
 class DefenseStack:

@@ -155,6 +155,7 @@ def build_scenario(
     query_budget: int | None = None,
     batch_size: int | None = None,
     cache: bool = False,
+    cache_size: int | None = None,
     on_budget_exhausted: str = "raise",
     consumer: str = "scenario",
     topology: TopologyConfig | None = None,
@@ -189,12 +190,13 @@ def build_scenario(
         after prediction. When no stack is given the construction path
         (and its random-stream consumption) is identical to the
         historical undefended skeleton.
-    query_budget, batch_size, cache, on_budget_exhausted:
+    query_budget, batch_size, cache, cache_size, on_budget_exhausted:
         Serving-layer knobs, forwarded to the deployment's
         :class:`~repro.serving.PredictionService`: an optional cap on
         chargeable prediction queries, the per-protocol-round batch
-        size, response memoization by sample hash, and whether an
-        exhausted budget raises
+        size, response memoization by sample hash (``cache_size``
+        bounds the memo as an LRU; ``None`` keeps it unbounded, the
+        historical behavior), and whether an exhausted budget raises
         (:class:`~repro.exceptions.QueryBudgetExceededError`) or
         truncates the accumulated pool. The defaults (unlimited, one
         round, no cache) accumulate bit-identically to the historical
@@ -322,6 +324,7 @@ def build_scenario(
         query_budget=query_budget,
         max_batch=batch_size,
         cache=cache,
+        cache_size=cache_size,
         rng=defense_rng,
         exhaustion=on_budget_exhausted,
     )
@@ -377,7 +380,9 @@ class ScenarioConfig:
     :class:`~repro.serving.PredictionService`: ``query_budget`` caps how
     many predictions the attack may accumulate (``None`` = unlimited, the
     bit-identical historical default), ``batch_size`` bounds each
-    protocol round, ``cache`` memoizes responses by sample hash, and
+    protocol round, ``cache`` memoizes responses by sample hash
+    (``cache_size`` caps the memo as an LRU with eviction accounting;
+    ``None`` keeps it unbounded), and
     ``on_budget_exhausted`` chooses between a clean
     :class:`~repro.exceptions.QueryBudgetExceededError` (``"raise"``) and
     attacking whatever prefix the budget allowed (``"truncate"``).
@@ -408,6 +413,7 @@ class ScenarioConfig:
     query_budget: int | None = None
     batch_size: int | None = None
     cache: bool = False
+    cache_size: int | None = None
     on_budget_exhausted: str = "raise"
     topology: "TopologyConfig | None" = None
     comm_budget: "int | float | None" = None
@@ -502,6 +508,7 @@ class ScenarioReport:
                 "query_budget": config.query_budget,
                 "batch_size": config.batch_size,
                 "cache": config.cache,
+                "cache_size": config.cache_size,
                 "on_budget_exhausted": config.on_budget_exhausted,
                 "topology": (
                     None if config.topology is None else config.topology.to_payload()
@@ -539,6 +546,9 @@ class ScenarioReport:
             query_budget=data["query_budget"],
             batch_size=data["batch_size"],
             cache=data["cache"],
+            # .get(): payloads persisted before the LRU bound existed
+            # carry no cache_size key and mean the unbounded default.
+            cache_size=data.get("cache_size"),
             on_budget_exhausted=data["on_budget_exhausted"],
             # .get(): payloads persisted before the federation runtime
             # existed carry none of these keys and mean the defaults.
@@ -656,6 +666,16 @@ def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStac
         raise ScenarioError(
             f"batch_size must be a positive int or None, got {config.batch_size}"
         )
+    if config.cache_size is not None:
+        if config.cache_size < 1:
+            raise ScenarioError(
+                f"cache_size must be a positive int or None, got {config.cache_size}"
+            )
+        if not config.cache:
+            raise ScenarioError(
+                "cache_size bounds the response cache and is meaningless "
+                "without cache=True"
+            )
     if config.on_budget_exhausted not in ("raise", "truncate"):
         raise ScenarioError(
             "on_budget_exhausted must be 'raise' or 'truncate', got "
@@ -796,6 +816,7 @@ def run_scenario(
         config.query_budget is not None
         or config.batch_size is not None
         or config.cache
+        or config.cache_size is not None
         or config.on_budget_exhausted != "raise"
         or config.topology is not None
         or config.comm_budget is not None
@@ -803,10 +824,10 @@ def run_scenario(
     ):
         raise ScenarioError(
             "serving and federation knobs (query_budget/batch_size/cache/"
-            "on_budget_exhausted/topology/comm_budget/scheduler) configure "
-            "the deployment when the scenario is built and cannot apply to "
-            "a prebuilt scenario; set them on build_scenario (or on its "
-            "service) instead"
+            "cache_size/on_budget_exhausted/topology/comm_budget/scheduler) "
+            "configure the deployment when the scenario is built and cannot "
+            "apply to a prebuilt scenario; set them on build_scenario (or on "
+            "its service) instead"
         )
 
     if scenario is None:
@@ -822,6 +843,7 @@ def run_scenario(
             query_budget=config.query_budget,
             batch_size=config.batch_size,
             cache=config.cache,
+            cache_size=config.cache_size,
             on_budget_exhausted=config.on_budget_exhausted,
             consumer=config.attack,
             topology=config.topology,

@@ -25,7 +25,7 @@ import sys
 from typing import Callable
 
 from repro.exceptions import ValidationError
-from repro.experiments import figures, tables
+from repro.experiments import figures, tables, traffic
 from repro.experiments.batch import run_batch
 from repro.config import PRESETS
 from repro.experiments.reporting import ExperimentResult
@@ -45,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig11": figures.fig11_defenses,
     "budget": figures.budget_sweep,
     "comm": figures.comm_sweep,
+    "traffic": traffic.traffic_sweep,
 }
 
 
@@ -58,6 +59,7 @@ def print_registries(stream=None) -> None:
     # Imported here so the plain experiment path never pays for the api
     # package's registries.
     from repro.api import ATTACKS, DATASETS, DEFENSES, MODELS
+    from repro.workload import ARRIVALS
 
     stream = sys.stdout if stream is None else stream
     sections = (
@@ -65,6 +67,7 @@ def print_registries(stream=None) -> None:
         ("models", MODELS),
         ("defenses", DEFENSES),
         ("datasets", DATASETS),
+        ("arrivals", ARRIVALS),
     )
     for index, (title, registry) in enumerate(sections):
         if index:

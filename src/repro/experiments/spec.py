@@ -102,6 +102,7 @@ def _ensure_registered() -> None:
     """Import the modules whose import side-effect fills the registry."""
     import repro.experiments.figures  # noqa: F401
     import repro.experiments.tables  # noqa: F401
+    import repro.experiments.traffic  # noqa: F401
 
 
 def get_experiment_spec(experiment_id: str) -> ExperimentSpec:

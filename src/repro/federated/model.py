@@ -69,6 +69,11 @@ class VerticalFLModel:
         self.parties = parties
         self._n_samples = n
         self.prediction_log_: list[int] = []
+        #: Gate for :attr:`prediction_log_`. The log exists for protocol
+        #: forensics at scenario scale; a workload replay pushing millions
+        #: of requests through one deployment turns it into an unbounded
+        #: allocation, so the workload layer switches it off.
+        self.log_predictions: bool = True
 
     # ------------------------------------------------------------------
     # Prediction protocol
@@ -94,7 +99,8 @@ class VerticalFLModel:
         if sample_indices.size == 0:
             raise ProtocolError("prediction request with no sample ids")
         joint = self._assemble(sample_indices)
-        self.prediction_log_.extend(int(i) for i in sample_indices)
+        if self.log_predictions:
+            self.prediction_log_.extend(int(i) for i in sample_indices)
         return self.model.predict_proba(joint)
 
     def predict_all(self) -> np.ndarray:

@@ -23,6 +23,7 @@ attack cost.
 """
 
 from repro.exceptions import QueryBudgetExceededError
+from repro.serving.cache import ResponseCache
 from repro.serving.ledger import QueryLedger
 from repro.serving.service import PredictionService, QueryContext
 
@@ -30,5 +31,6 @@ __all__ = [
     "PredictionService",
     "QueryContext",
     "QueryLedger",
+    "ResponseCache",
     "QueryBudgetExceededError",
 ]

@@ -18,7 +18,7 @@ matrix is the kind of bug that looks like a weak attack.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.exceptions import QueryBudgetExceededError, ValidationError
 from repro.utils.validation import check_positive_int
@@ -58,6 +58,7 @@ class QueryLedger:
         }
         self._counts: dict[str, int] = {}
         self._cache_hits: dict[str, int] = {}
+        self._evictions: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Metering
@@ -72,6 +73,18 @@ class QueryLedger:
         """Total responses replayed from cache (never charged)."""
         return sum(self._cache_hits.values())
 
+    @property
+    def evictions(self) -> int:
+        """Total cached responses dropped by an LRU bound, every consumer.
+
+        An evicted entry that is queried again is a fresh computation and
+        a fresh charge, so cache-hit counts stay exact: ``hits`` only
+        ever means "replayed from a live entry", and this counter is the
+        audit trail for why a bounded cache hits less than an unbounded
+        one would.
+        """
+        return sum(self._evictions.values())
+
     def count(self, consumer: str) -> int:
         """Chargeable queries served to one consumer."""
         return self._counts.get(consumer, 0)
@@ -79,6 +92,17 @@ class QueryLedger:
     def cache_hit_count(self, consumer: str) -> int:
         """Cache hits served to one consumer."""
         return self._cache_hits.get(consumer, 0)
+
+    def eviction_count(self, consumer: str) -> int:
+        """Evictions attributed to one consumer (whose insert overflowed)."""
+        return self._evictions.get(consumer, 0)
+
+    def consumers(self) -> list[str]:
+        """Every consumer the ledger has seen, in first-charge order."""
+        seen = dict.fromkeys(self._counts)
+        seen.update(dict.fromkeys(self._cache_hits))
+        seen.update(dict.fromkeys(self._evictions))
+        return list(seen)
 
     def remaining(self, consumer: "str | None" = None) -> "int | None":
         """Queries left before a budget binds; ``None`` when unlimited.
@@ -158,6 +182,18 @@ class QueryLedger:
         if n:
             self._cache_hits[consumer] = self.cache_hit_count(consumer) + n
 
+    def record_evictions(self, n: int, consumer: str = "anonymous") -> None:
+        """Record ``n`` cached responses dropped by an LRU bound.
+
+        Attributed to the consumer whose insert overflowed the cache (for
+        consumer-scoped caches that is also the entries' owner). Never
+        affects budgets — eviction costs the *cache*, not the consumer.
+        """
+        if n < 0:
+            raise ValidationError(f"eviction count must be >= 0, got {n}")
+        if n:
+            self._evictions[consumer] = self.eviction_count(consumer) + n
+
     def _check_request(self, n: int) -> int:
         if n <= 0:
             raise ValidationError(f"query count must be positive, got {n}")
@@ -181,9 +217,41 @@ class QueryLedger:
             "consumer_budgets": dict(self.consumer_budgets),
             "queries_used": self.queries_used,
             "cache_hits": self.cache_hits,
+            "evictions": self.evictions,
             "counts": dict(self._counts),
             "cache_hit_counts": dict(self._cache_hits),
+            "eviction_counts": dict(self._evictions),
         }
+
+    @classmethod
+    def merged(cls, ledgers: "Iterable[QueryLedger]") -> "QueryLedger":
+        """Fold several shard ledgers into one deployment-wide view.
+
+        Per-consumer counts, cache hits, and evictions are summed;
+        per-consumer budgets are unioned (a consumer is pinned to one
+        shard, so its budget appears on exactly one ledger and the union
+        is conflict-free — a genuine conflict raises). Global budgets do
+        not merge: a deployment-wide cap would need cross-shard
+        coordination, which the share-nothing shard design deliberately
+        rejects, so the merged ledger is reporting-only and unbudgeted.
+        """
+        merged = cls()
+        for ledger in ledgers:
+            for name, cap in ledger.consumer_budgets.items():
+                existing = merged.consumer_budgets.get(name)
+                if existing is not None and existing != cap:
+                    raise ValidationError(
+                        f"conflicting budgets for consumer {name!r} while "
+                        f"merging ledgers: {existing} vs {cap}"
+                    )
+                merged.consumer_budgets[name] = cap
+            for name, n in ledger._counts.items():
+                merged._counts[name] = merged._counts.get(name, 0) + n
+            for name, n in ledger._cache_hits.items():
+                merged._cache_hits[name] = merged._cache_hits.get(name, 0) + n
+            for name, n in ledger._evictions.items():
+                merged._evictions[name] = merged._evictions.get(name, 0) + n
+        return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (

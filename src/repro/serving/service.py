@@ -33,6 +33,14 @@ response cache
     charged. Replays are still announced to the ``on_query`` hooks (as
     :attr:`QueryContext.replayed_indices`), so auditing defenses see
     duplicate traffic even though the stored bytes are not re-perturbed.
+    ``cache_size`` bounds the store as a true LRU (the unbounded default
+    reproduces the historical behavior bit-for-bit) with every eviction
+    recorded on the ledger, and ``cache_scope="consumer"`` namespaces
+    the store per tenant: a consumer only ever replays *its own* traffic,
+    so no tenant can observe another tenant's queries through charging
+    or timing differences — the isolation property that also makes
+    sharded multi-tenant replay (:mod:`repro.workload`) bit-identical
+    to serial replay regardless of the shard count.
 online defense hook
     After a chunk is computed, the scenario's
     :class:`~repro.api.defenses.DefenseStack` gets an ``on_query`` pass
@@ -58,6 +66,7 @@ from repro.defenses.base import unwrap_model
 from repro.exceptions import CommBudgetExceededError, ProtocolError, ValidationError
 from repro.federated.model import VerticalFLModel
 from repro.models.base import BaseClassifier
+from repro.serving.cache import ResponseCache
 from repro.serving.ledger import QueryLedger
 from repro.utils.validation import check_positive_int
 
@@ -65,6 +74,10 @@ __all__ = ["PredictionService", "QueryContext"]
 
 #: Exhaustion policies: fail the whole request, or serve what fits.
 EXHAUSTION_MODES = ("raise", "truncate")
+
+#: Cache scopes: one shared store, or one store per consumer (tenant
+#: isolation — a consumer only replays its own traffic).
+CACHE_SCOPES = ("shared", "consumer")
 
 
 @dataclass(frozen=True)
@@ -126,6 +139,17 @@ class PredictionService:
         serves each request in one vectorized round.
     cache:
         Memoize responses by sample hash and replay repeats for free.
+    cache_size:
+        LRU bound on the response cache (requires ``cache=True``);
+        ``None`` stores every response forever — the historical
+        behavior. Evictions are recorded on the ledger
+        (:meth:`~repro.serving.ledger.QueryLedger.record_evictions`),
+        so hit counts stay exactly reconcilable.
+    cache_scope:
+        ``"shared"`` (default) memoizes across consumers;
+        ``"consumer"`` gives each tenant its own (LRU-bounded) store,
+        isolating tenants from each other's traffic. With a bound, the
+        bound applies per store.
     rng:
         Defense stream for online perturbations (``query_noise`` draws
         from it when it has no stream of its own).
@@ -143,6 +167,8 @@ class PredictionService:
         query_budget: "int | None" = None,
         max_batch: "int | None" = None,
         cache: bool = False,
+        cache_size: "int | None" = None,
+        cache_scope: str = "shared",
         rng: "np.random.Generator | None" = None,
         exhaustion: str = "raise",
         runtime=None,
@@ -160,6 +186,15 @@ class PredictionService:
             raise ValidationError(
                 f"exhaustion must be one of {EXHAUSTION_MODES}, got {exhaustion!r}"
             )
+        if cache_scope not in CACHE_SCOPES:
+            raise ValidationError(
+                f"cache_scope must be one of {CACHE_SCOPES}, got {cache_scope!r}"
+            )
+        if cache_size is not None and not cache:
+            raise ValidationError(
+                "cache_size bounds the response cache and is meaningless "
+                "without cache=True; enable the cache or drop the bound"
+            )
         self.vfl = vfl
         self.runtime = runtime
         self.defense_stack = defense_stack
@@ -167,7 +202,11 @@ class PredictionService:
         self.max_batch = (
             None if max_batch is None else check_positive_int(max_batch, name="max_batch")
         )
-        self._cache: "dict[str, np.ndarray] | None" = {} if cache else None
+        self.cache_size = (
+            None if cache_size is None else check_positive_int(cache_size, name="cache_size")
+        )
+        self.cache_scope = cache_scope
+        self._caches: "dict[str, ResponseCache] | None" = {} if cache else None
         self.rng = rng
         self.exhaustion = exhaustion
         # Fingerprint chunks once, here, when any stacked defense consumes
@@ -193,12 +232,29 @@ class PredictionService:
     @property
     def cache_enabled(self) -> bool:
         """Whether responses are memoized by sample hash."""
-        return self._cache is not None
+        return self._caches is not None
 
     @property
-    def cache_size(self) -> int:
-        """Distinct sample hashes currently memoized."""
-        return len(self._cache) if self._cache is not None else 0
+    def cache_entries(self) -> int:
+        """Distinct sample hashes currently memoized, across every scope."""
+        if self._caches is None:
+            return 0
+        return sum(len(cache) for cache in self._caches.values())
+
+    @property
+    def cache_evictions(self) -> int:
+        """Responses dropped by the LRU bound so far, across every scope."""
+        if self._caches is None:
+            return 0
+        return sum(cache.evictions for cache in self._caches.values())
+
+    def _cache_for(self, consumer: str) -> ResponseCache:
+        """The (scope-resolved) response store serving ``consumer``."""
+        key = consumer if self.cache_scope == "consumer" else ""
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = self._caches[key] = ResponseCache(self.cache_size)
+        return cache
 
     def release_model(self) -> BaseClassifier:
         """The plaintext released model θ (§III-B), defenses peeled off."""
@@ -260,16 +316,17 @@ class PredictionService:
         """Serve one ``max_batch``-sized chunk; True means budget exhausted."""
         hashes = (
             self.vfl.sample_hashes(chunk)
-            if self._cache is not None or self._wants_hashes
+            if self._caches is not None or self._wants_hashes
             else None
         )
-        if self._cache is not None:
+        cache = None if self._caches is None else self._cache_for(consumer)
+        if cache is not None:
             # A repeated sample id (or repeated content) within one chunk
             # is a single chargeable computation; later occurrences replay.
             miss_pos: list[int] = []
             pending: set[str] = set()
             for i, digest in enumerate(hashes):
-                if digest in self._cache or digest in pending:
+                if digest in cache or digest in pending:
                     continue
                 miss_pos.append(i)
                 pending.add(digest)
@@ -288,7 +345,7 @@ class PredictionService:
         served_miss = miss_pos[:granted]
         hit_pos = (
             []
-            if self._cache is None
+            if cache is None
             else sorted(set(range(cutoff)) - set(served_miss))
         )
 
@@ -306,21 +363,33 @@ class PredictionService:
                 self.ledger.refund(granted, consumer)
                 raise
 
-        if self._cache is None:
+        if cache is None:
             # No cache: the computed block is the response (hot path).
             return computed, granted < chunk.size
 
+        # Stage every row this chunk releases before any insert: with an
+        # LRU bound, writing the computed rows could evict an entry a
+        # later position of this very chunk still replays.
+        staged: dict[str, np.ndarray] = {}
+        for position in hit_pos:
+            digest = hashes[position]
+            if digest not in staged and digest in cache:
+                staged[digest] = cache.get(digest)
         rows = np.empty((cutoff, self.n_classes))
+        evicted = 0
         next_miss = 0
         for position in range(cutoff):
+            digest = hashes[position]
             if next_miss < granted and position == served_miss[next_miss]:
-                rows[position] = computed[next_miss]
-                self._cache[hashes[position]] = computed[next_miss].copy()
+                row = computed[next_miss].copy()
+                staged[digest] = row
+                evicted += cache.put(digest, row)
                 next_miss += 1
-            else:
-                # Stored earlier — or, for an intra-chunk duplicate, just
-                # now when its first occurrence was assembled above.
-                rows[position] = self._cache[hashes[position]]
+            # A non-miss position replays a stored row — or, for an
+            # intra-chunk duplicate, the row its first occurrence staged.
+            rows[position] = staged[digest]
+        if evicted:
+            self.ledger.record_evictions(evicted, consumer)
         if hit_pos:
             self.ledger.record_cache_hits(len(hit_pos), consumer)
         return rows, cutoff < chunk.size

@@ -1,0 +1,386 @@
+"""Sharded multi-tenant serving: concurrent replay, serial accounting.
+
+:class:`ShardedPredictionService` runs ``n_shards`` independent
+:class:`~repro.serving.PredictionService` instances over one deployed
+model. The design is **share-nothing**: every shard owns its
+:class:`~repro.serving.QueryLedger`, its (LRU-bounded) response caches,
+and its own :class:`~repro.api.defenses.DefenseStack` instances, and
+every consumer is pinned to exactly one shard by a stable content hash
+of its name (``crc32``, never Python's salted ``hash``). Because no
+serving state crosses a shard boundary and each shard processes its
+consumers' requests in trace order, concurrent replay is **bit-identical
+to serial replay of the same shards** — no locks, no retries, and the
+differential tests assert equality on the merged accounting, not mere
+statistical agreement.
+
+A second, stronger invariance — the merged accounting not depending on
+the *shard count* at all (``N`` shards == 1 shard) — holds exactly when
+all serving state is consumer-scoped: ``cache_scope="consumer"`` (the
+default here), per-consumer budgets only, and consumer-scoped defense
+signals. Deployment-wide state (a shared cache, ``rate_limit``'s global
+cap, ``query_audit``'s cross-tenant ``seen`` tally) is legitimately
+per-shard and changes with the layout; the per-consumer tallies the
+anomaly ranking uses do not.
+
+Replay deliberately returns accounting, not score matrices — a workload
+is a load test of the metered boundary, and keeping a million response
+rows would be an unbounded allocation for numbers nobody reads. For the
+same reason the deployment's forensic
+:attr:`~repro.federated.VerticalFLModel.prediction_log_` is gated off
+for the duration of a replay.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.api.defenses import DefenseStack, QueryAuditDefense
+from repro.exceptions import QueryBudgetExceededError, ValidationError
+from repro.federated.model import VerticalFLModel
+from repro.serving.ledger import QueryLedger
+from repro.serving.service import PredictionService
+from repro.utils.random import spawn_rngs
+from repro.utils.validation import check_positive_int
+from repro.workload.trace import TrafficTrace
+
+__all__ = ["ShardedPredictionService", "WorkloadReport", "shard_of"]
+
+#: Replay execution modes: one worker thread per shard, or the same
+#: shard-by-shard work on the calling thread (the differential oracle).
+REPLAY_MODES = ("threads", "serial")
+
+
+def shard_of(consumer: str, n_shards: int) -> int:
+    """The shard a consumer is pinned to — a stable content hash.
+
+    ``crc32`` rather than ``hash()``: Python salts string hashes per
+    process, and a pinning that moves between runs would unmoor every
+    determinism statement this module makes.
+    """
+    return zlib.crc32(consumer.encode("utf-8")) % n_shards
+
+
+def _zscores(values: np.ndarray) -> np.ndarray:
+    std = float(values.std())
+    if std == 0.0:
+        return np.zeros_like(values)
+    return (values - values.mean()) / std
+
+
+@dataclass
+class WorkloadReport:
+    """Merged accounting of one trace replay.
+
+    ``accounting()`` is the timing-free payload two replays of the same
+    trace can be compared on bit-for-bit; ``as_dict()`` adds wall-clock
+    throughput for benches and experiment artifacts.
+    """
+
+    n_shards: int
+    mode: str
+    trace: dict[str, Any]
+    ledger: dict[str, Any]
+    shard_ledgers: list[dict[str, Any]]
+    refusals: dict[str, int]
+    audit: dict[str, Any]
+    elapsed_s: float = 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Sustained individual predictions served per wall-clock second."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        served = self.ledger["queries_used"] + self.ledger["cache_hits"]
+        return served / self.elapsed_s
+
+    # ------------------------------------------------------------------
+    # Needle-in-traffic ranking
+    # ------------------------------------------------------------------
+    def anomaly_scores(self) -> dict[str, float]:
+        """Per-consumer anomaly score: volume + duplication, standardized.
+
+        Each consumer's request volume (served + replayed + refused
+        events) and duplicate rate (audited per-consumer duplicates when
+        a ``query_audit`` defense ran, else cache replays) are z-scored
+        across the population and summed — an adversary accumulating a
+        pool and re-querying it to average noise away is an outlier on
+        both axes, while volume alone would also flag a merely chatty
+        benign tenant.
+        """
+        counts: dict[str, int] = dict(self.ledger["counts"])
+        hits: dict[str, int] = dict(self.ledger["cache_hit_counts"])
+        consumers = list(
+            dict.fromkeys(
+                [*counts, *hits, *self.refusals, *self.audit["consumer_queries"]]
+            )
+        )
+        if not consumers:
+            return {}
+        audited: dict[str, int] = self.audit["consumer_queries"]
+        duplicates: dict[str, int] = self.audit["consumer_duplicates"]
+        volume = np.empty(len(consumers))
+        dup_rate = np.empty(len(consumers))
+        for i, name in enumerate(consumers):
+            served = counts.get(name, 0) + hits.get(name, 0)
+            volume[i] = served + self.refusals.get(name, 0)
+            asked = audited.get(name, served)
+            dups = (
+                duplicates.get(name, 0) if audited else hits.get(name, 0)
+            )
+            dup_rate[i] = dups / asked if asked else 0.0
+        scores = _zscores(volume) + _zscores(dup_rate)
+        return {name: float(scores[i]) for i, name in enumerate(consumers)}
+
+    def ranked_consumers(self) -> list[str]:
+        """Consumers by descending anomaly score (name breaks ties)."""
+        scores = self.anomaly_scores()
+        return sorted(scores, key=lambda name: (-scores[name], name))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def consumer_accounting(self) -> dict[str, Any]:
+        """The layout-invariant payload: per-consumer accounting only.
+
+        Two replays of one trace through *different shard counts* agree
+        on this dict exactly (given consumer-scoped serving state);
+        deployment-wide tallies — per-shard ledgers, the audit's
+        cross-tenant ``seen``/``duplicates`` — legitimately depend on
+        the layout and are excluded.
+        """
+        return {
+            "trace": dict(self.trace),
+            "ledger": self.ledger,
+            "refusals": dict(self.refusals),
+            "consumer_queries": dict(self.audit["consumer_queries"]),
+            "consumer_duplicates": dict(self.audit["consumer_duplicates"]),
+        }
+
+    def accounting(self) -> dict[str, Any]:
+        """The deterministic payload — everything except wall-clock."""
+        return {
+            "n_shards": self.n_shards,
+            "trace": dict(self.trace),
+            "ledger": self.ledger,
+            "shard_ledgers": list(self.shard_ledgers),
+            "refusals": dict(self.refusals),
+            "audit": self.audit,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report: accounting plus mode and throughput."""
+        payload = self.accounting()
+        payload["mode"] = self.mode
+        payload["elapsed_s"] = self.elapsed_s
+        payload["queries_per_second"] = self.queries_per_second
+        return payload
+
+
+class ShardedPredictionService:
+    """N share-nothing serving shards over one deployed VFL model.
+
+    Parameters
+    ----------
+    vfl:
+        The deployment every shard serves. The model itself is read-only
+        during prediction (its lazy kernel tables are warmed before any
+        concurrent fan-out), so sharing it is safe.
+    n_shards:
+        Number of independent serving shards.
+    defense_specs:
+        Defense specs (as accepted by
+        :meth:`~repro.api.defenses.DefenseStack.from_specs`) built
+        **fresh per shard** — online defenses carry mutable tallies that
+        must not be shared across concurrent shards.
+    consumer_budgets:
+        Per-consumer query caps, handed to every shard's ledger (a
+        consumer is pinned to one shard, so its cap binds exactly once).
+        Deployment-wide budgets are deliberately not offered: a global
+        cap needs cross-shard coordination, which share-nothing rejects.
+    max_batch, cache, cache_size, exhaustion:
+        Per-shard :class:`~repro.serving.PredictionService` knobs.
+    cache_scope:
+        Defaults to ``"consumer"`` (tenant-isolated stores) — the
+        setting under which the merged accounting is invariant to the
+        shard count. ``"shared"`` shares one store per *shard*, which
+        is faithful to a real deployment but layout-dependent.
+    seed:
+        Spawns one defense stream per shard (prefix scheme), so a
+        ``query_noise`` defense draws reproducibly per shard.
+    """
+
+    def __init__(
+        self,
+        vfl: VerticalFLModel,
+        *,
+        n_shards: int = 1,
+        defense_specs: "tuple | list" = (),
+        consumer_budgets: "dict[str, int] | None" = None,
+        max_batch: "int | None" = None,
+        cache: bool = False,
+        cache_size: "int | None" = None,
+        cache_scope: str = "consumer",
+        exhaustion: str = "raise",
+        seed: int = 0,
+    ) -> None:
+        self.vfl = vfl
+        self.n_shards = check_positive_int(n_shards, name="n_shards")
+        self.defense_specs = tuple(defense_specs)
+        rngs = spawn_rngs(seed, self.n_shards)
+        self.shards: list[PredictionService] = []
+        for shard_rng in rngs:
+            stack = (
+                DefenseStack.from_specs(self.defense_specs)
+                if self.defense_specs
+                else None
+            )
+            self.shards.append(
+                PredictionService(
+                    vfl,
+                    defense_stack=stack,
+                    ledger=QueryLedger(consumer_budgets=consumer_budgets),
+                    max_batch=max_batch,
+                    cache=cache,
+                    cache_size=cache_size,
+                    cache_scope=cache_scope,
+                    rng=shard_rng,
+                    exhaustion=exhaustion,
+                )
+            )
+
+    def shard_of(self, consumer: str) -> int:
+        """The shard serving ``consumer`` (stable across runs/processes)."""
+        return shard_of(consumer, self.n_shards)
+
+    def _warm_kernels(self) -> None:
+        """Build the model's lazy kernel tables before concurrent fan-out.
+
+        Tree/forest deployments flatten their structures into decision
+        tables on first predict; racing that first call from several
+        shard workers is the one write the otherwise read-only model
+        would see. One serial throwaway round (never charged, never
+        logged) makes every later predict a pure read.
+        """
+        self.vfl.predict(np.zeros(1, dtype=np.int64))
+
+    def replay(self, trace: TrafficTrace, *, mode: str = "threads") -> WorkloadReport:
+        """Replay a trace through the shards and merge the accounting.
+
+        ``mode="threads"`` runs one worker per shard;  ``mode="serial"``
+        performs the identical per-shard work on the calling thread.
+        The two are bit-identical by construction — ``serial`` exists as
+        the differential oracle and for profiling.
+        """
+        if mode not in REPLAY_MODES:
+            raise ValidationError(
+                f"mode must be one of {REPLAY_MODES}, got {mode!r}"
+            )
+        if trace.n_events == 0:
+            raise ValidationError("cannot replay an empty trace")
+        pins = np.fromiter(
+            (shard_of(name, self.n_shards) for name in trace.names),
+            dtype=np.int64,
+            count=len(trace.names),
+        )
+        event_shards = pins[trace.consumer_ids]
+        shard_events = [
+            np.flatnonzero(event_shards == s) for s in range(self.n_shards)
+        ]
+
+        was_logging = self.vfl.log_predictions
+        self.vfl.log_predictions = False
+        try:
+            self._warm_kernels()
+            start = time.perf_counter()
+            if mode == "serial" or self.n_shards == 1:
+                refusal_maps = [
+                    self._replay_shard(trace, s, shard_events[s])
+                    for s in range(self.n_shards)
+                ]
+            else:
+                with ThreadPoolExecutor(max_workers=self.n_shards) as pool:
+                    refusal_maps = list(
+                        pool.map(
+                            lambda s: self._replay_shard(
+                                trace, s, shard_events[s]
+                            ),
+                            range(self.n_shards),
+                        )
+                    )
+            elapsed = time.perf_counter() - start
+        finally:
+            self.vfl.log_predictions = was_logging
+
+        refusals: dict[str, int] = {}
+        for shard_refusals in refusal_maps:
+            refusals.update(shard_refusals)  # consumers pinned -> disjoint
+        return WorkloadReport(
+            n_shards=self.n_shards,
+            mode=mode,
+            trace=trace.as_dict(),
+            ledger=QueryLedger.merged(s.ledger for s in self.shards).as_dict(),
+            shard_ledgers=[s.ledger.as_dict() for s in self.shards],
+            refusals=refusals,
+            audit=self.audit_report(),
+            elapsed_s=elapsed,
+        )
+
+    def _replay_shard(
+        self, trace: TrafficTrace, shard: int, events: np.ndarray
+    ) -> dict[str, int]:
+        """Serve one shard's events in trace order; returns its refusals."""
+        service = self.shards[shard]
+        names = trace.names
+        consumer_ids = trace.consumer_ids
+        offsets = trace.offsets
+        sample_ids = trace.sample_ids
+        query = service.query
+        refused: dict[str, int] = {}
+        for i in events:
+            name = names[consumer_ids[i]]
+            try:
+                query(sample_ids[offsets[i] : offsets[i + 1]], consumer=name)
+            except QueryBudgetExceededError:
+                refused[name] = refused.get(name, 0) + 1
+        return refused
+
+    def audit_report(self) -> dict[str, Any]:
+        """Merged ``query_audit`` tallies across every shard's stack.
+
+        Per-consumer dicts merge disjointly (consumers are pinned);
+        deployment-wide totals sum. All-zero when no shard stacks a
+        ``query_audit`` defense.
+        """
+        merged: dict[str, Any] = {
+            "distinct_samples": 0,
+            "duplicates": 0,
+            "consumer_queries": {},
+            "consumer_duplicates": {},
+        }
+        for service in self.shards:
+            stack = service.defense_stack
+            if stack is None:
+                continue
+            for defense in stack:
+                if not isinstance(defense, QueryAuditDefense):
+                    continue
+                report = defense.report()
+                merged["distinct_samples"] += report["distinct_samples"]
+                merged["duplicates"] += report["duplicates"]
+                merged["consumer_queries"].update(report["consumer_queries"])
+                merged["consumer_duplicates"].update(
+                    report["consumer_duplicates"]
+                )
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"ShardedPredictionService(n_shards={self.n_shards}, "
+            f"defenses={list(self.defense_specs) or 'none'})"
+        )

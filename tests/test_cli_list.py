@@ -3,12 +3,13 @@
 import pytest
 
 from repro.api import ATTACKS, DATASETS, DEFENSES, MODELS, Registry
-from repro.experiments.runner import main
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.workload import ARRIVALS
 
 
 class TestDescribe:
     def test_every_component_registry_fully_described(self):
-        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS):
+        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS, ARRIVALS):
             described = registry.describe()
             assert list(described) == registry.names()
             for key, description in described.items():
@@ -40,9 +41,9 @@ class TestListSubcommand:
     def test_prints_all_registries(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for section in ("attacks:", "models:", "defenses:", "datasets:"):
+        for section in ("attacks:", "models:", "defenses:", "datasets:", "arrivals:"):
             assert section in out
-        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS):
+        for registry in (ATTACKS, MODELS, DEFENSES, DATASETS, ARRIVALS):
             for key in registry.names():
                 assert f"  {key}" in out
         # Descriptions ride along (spot-check one per registry).
@@ -50,6 +51,19 @@ class TestListSubcommand:
         assert "Logistic regression" in out
         assert "rate limit" in out.lower() or "Refuse service" in out
         assert "Bank marketing" in out
+        assert "Poisson" in out
+
+    def test_traffic_experiment_registered(self):
+        """The workload PR's experiment rides the same registries and
+        scale tiers as every paper artifact."""
+        from repro.experiments import EXPERIMENT_SPECS
+        from repro.experiments.spec import _ensure_registered
+
+        assert "traffic" in EXPERIMENTS
+        _ensure_registered()
+        units = EXPERIMENT_SPECS["traffic"].trial_units("smoke")
+        assert units, "traffic must decompose under the --smoke tier"
+        assert {unit.experiment_id for unit in units} == {"traffic"}
 
     def test_list_runs_no_experiments(self, capsys):
         main(["list"])

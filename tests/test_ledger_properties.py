@@ -1,0 +1,256 @@
+"""Property-test harness over the query/ledger invariants.
+
+The workload layer's whole correctness story rests on the ledger being a
+conservation law: whatever interleaving of consumers, budgets, refusals,
+and cache replays a deployment serves, the books must balance. Hypothesis
+drives randomized interleavings at two levels:
+
+- :class:`~repro.serving.QueryLedger` directly — charges minus refunds
+  equal ``queries_used``, no budget ever goes negative, failed charges
+  are atomic;
+- :class:`~repro.serving.PredictionService` end-to-end — batches a
+  defense refuses are always refunded, and cache replays (shared or
+  consumer-scoped, bounded or not) never double-charge.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryBudgetExceededError, ValidationError
+from repro.federated import FeaturePartition, train_vertical_model
+from repro.models import LogisticRegression
+from repro.serving import PredictionService, QueryLedger
+
+CONSUMERS = ("alice", "bob", "carol", "grna")
+
+
+def _blobs(n=120, d=6, c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.random((c, d))
+    y = rng.integers(0, c, size=n)
+    X = centers[y] + rng.normal(0, 1 / 3.0, size=(n, d))
+    X = (X - X.min(0)) / (X.max(0) - X.min(0))
+    return X, y.astype(np.int64)
+
+
+_VFL = None
+
+
+def deployment():
+    """One tiny LR deployment, trained once and shared by every example."""
+    global _VFL
+    if _VFL is None:
+        X, y = _blobs()
+        half = len(X) // 2
+        partition = FeaturePartition.adversary_target(X.shape[1], 0.4, rng=0)
+        model = LogisticRegression(epochs=3, rng=0)
+        _VFL = train_vertical_model(
+            model, X[:half], y[:half], X[half:], y[half:], partition
+        )
+    return _VFL
+
+
+# ----------------------------------------------------------------------
+# Ledger-level interleavings
+# ----------------------------------------------------------------------
+ledger_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["charge", "grant", "refund", "hits"]),
+        st.integers(1, 20),
+        st.sampled_from(CONSUMERS),
+    ),
+    max_size=60,
+)
+
+
+class TestLedgerInvariants:
+    @given(
+        budget=st.one_of(st.none(), st.integers(1, 60)),
+        caps=st.dictionaries(
+            st.sampled_from(CONSUMERS), st.integers(1, 40), max_size=3
+        ),
+        ops=ledger_ops,
+    )
+    def test_conservation_and_nonnegative_budgets(self, budget, caps, ops):
+        """charges − refunds == queries_used; no budget ever goes negative;
+        a failed charge is atomic; cache hits never touch the budget."""
+        ledger = QueryLedger(budget, consumer_budgets=caps)
+        charged = refunded = 0
+        for op, n, consumer in ops:
+            if op == "charge":
+                before = ledger.as_dict()
+                try:
+                    charged += ledger.charge(n, consumer)
+                except QueryBudgetExceededError:
+                    assert ledger.as_dict() == before
+            elif op == "grant":
+                charged += ledger.grant(n, consumer)
+            elif op == "refund":
+                amount = min(n, ledger.count(consumer))
+                if amount:
+                    ledger.refund(amount, consumer)
+                    refunded += amount
+            else:
+                ledger.record_cache_hits(n, consumer)
+
+            assert ledger.queries_used == charged - refunded
+            assert ledger.queries_used == sum(
+                ledger.count(c) for c in CONSUMERS
+            )
+            assert all(ledger.count(c) >= 0 for c in CONSUMERS)
+            if budget is not None:
+                assert ledger.queries_used <= budget
+                assert ledger.remaining() >= 0
+            for c, cap in caps.items():
+                assert ledger.count(c) <= cap
+                assert ledger.remaining(c) >= 0
+
+    @given(ops=ledger_ops, extra=st.integers(1, 10))
+    def test_over_refund_rejected_atomically(self, ops, extra):
+        """A refund exceeding the consumer's charges raises untouched."""
+        ledger = QueryLedger()
+        for op, n, consumer in ops:
+            if op in ("charge", "grant"):
+                ledger.charge(n, consumer)
+        for consumer in CONSUMERS:
+            before = ledger.as_dict()
+            with pytest.raises(ValidationError):
+                ledger.refund(ledger.count(consumer) + extra, consumer)
+            assert ledger.as_dict() == before
+
+    @given(
+        splits=st.lists(
+            st.tuples(st.sampled_from(CONSUMERS), st.integers(0, 3)),
+            max_size=30,
+        )
+    )
+    def test_merged_shards_equal_one_ledger(self, splits):
+        """Routing charges across shard ledgers then merging equals
+        charging one ledger — the workload layer's merge contract."""
+        n_shards = 4
+        shards = [QueryLedger() for _ in range(n_shards)]
+        one = QueryLedger()
+        for i, (consumer, kind) in enumerate(splits):
+            shard = shards[hash_free_pin(consumer, n_shards)]
+            n = 1 + i % 5
+            if kind == 0:
+                shard.charge(n, consumer)
+                one.charge(n, consumer)
+            elif kind == 1:
+                shard.record_cache_hits(n, consumer)
+                one.record_cache_hits(n, consumer)
+            else:
+                shard.record_evictions(n, consumer)
+                one.record_evictions(n, consumer)
+        assert QueryLedger.merged(shards).as_dict() == one.as_dict()
+
+
+def hash_free_pin(consumer: str, n_shards: int) -> int:
+    """Deterministic consumer→shard pin (mirrors workload.shard_of)."""
+    from repro.workload import shard_of
+
+    return shard_of(consumer, n_shards)
+
+
+# ----------------------------------------------------------------------
+# Service-level interleavings
+# ----------------------------------------------------------------------
+class RefusingStack:
+    """Minimal DefenseStack stand-in: refuses chunks per a schedule,
+    recording how many response rows it actually released."""
+
+    def __init__(self, schedule):
+        self.schedule = list(schedule)
+        self.calls = 0
+        self.released = 0
+
+    def __len__(self):
+        return 1
+
+    def __iter__(self):
+        return iter(())
+
+    def on_query(self, responses, context):
+        refuse = bool(self.schedule) and self.schedule[
+            self.calls % len(self.schedule)
+        ]
+        self.calls += 1
+        if refuse:
+            raise QueryBudgetExceededError("refused by policy")
+        self.released += len(responses)
+        return responses
+
+
+query_batches = st.lists(
+    st.tuples(
+        st.sampled_from(CONSUMERS),
+        st.lists(st.integers(0, 59), min_size=1, max_size=8),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestServiceInvariants:
+    @given(batches=query_batches, schedule=st.lists(st.booleans(), max_size=6))
+    def test_refused_batches_always_refunded(self, batches, schedule):
+        """queries_used only ever counts rows a consumer received: every
+        chunk the defense refuses is charged, computed, then refunded."""
+        stack = RefusingStack(schedule)
+        service = PredictionService(
+            deployment(), defense_stack=stack, max_batch=3
+        )
+        for consumer, ids in batches:
+            try:
+                service.query(np.array(ids), consumer=consumer)
+            except QueryBudgetExceededError:
+                pass
+        assert service.ledger.queries_used == stack.released
+        assert service.ledger.cache_hits == 0
+
+    @given(
+        batches=query_batches,
+        scope=st.sampled_from(["shared", "consumer"]),
+        bound=st.one_of(st.none(), st.integers(1, 5)),
+    )
+    def test_cache_replays_never_double_charge(self, batches, scope, bound):
+        """Served rows reconcile exactly: charges + replays == rows out,
+        and with an unbounded cache each distinct response is charged at
+        most once per store (shared: globally; consumer: per tenant)."""
+        vfl = deployment()
+        service = PredictionService(
+            vfl, cache=True, cache_size=bound, cache_scope=scope, max_batch=4
+        )
+        served = 0
+        seen: dict[str, set] = {}
+        for consumer, ids in batches:
+            served += len(service.query(np.array(ids), consumer=consumer))
+            key = consumer if scope == "consumer" else ""
+            seen.setdefault(key, set()).update(vfl.sample_hashes(np.array(ids)))
+        ledger = service.ledger
+        assert ledger.queries_used + ledger.cache_hits == served
+        # Every charged row was inserted exactly once, so evictions are
+        # the puts that no longer have a live entry.
+        assert ledger.evictions == ledger.queries_used - service.cache_entries
+        if bound is None:
+            assert ledger.evictions == 0
+            assert ledger.queries_used == sum(
+                len(hashes) for hashes in seen.values()
+            )
+        else:
+            assert all(
+                len(cache) <= bound for cache in service._caches.values()
+            )
+
+    @given(batches=query_batches)
+    def test_replayed_responses_are_byte_stable(self, batches):
+        """A cache replay returns the exact bytes of the first response."""
+        service = PredictionService(deployment(), cache=True, max_batch=4)
+        first: dict[int, bytes] = {}
+        for consumer, ids in batches:
+            rows = service.query(np.array(ids), consumer=consumer)
+            for sample, row in zip(ids, rows):
+                expected = first.setdefault(sample, row.tobytes())
+                assert row.tobytes() == expected

@@ -233,7 +233,7 @@ class TestResponseCache:
         np.testing.assert_array_equal(first, second)
         assert service.ledger.queries_used == 15
         assert service.ledger.cache_hit_count("a") == 15
-        assert service.cache_size == 15
+        assert service.cache_entries == 15
 
     def test_partial_hits_only_charge_misses(self):
         service = make_deployment("lr", cache=True)
@@ -317,7 +317,12 @@ class TestOnlineDefenses:
         service = make_deployment("lr", defense_stack=DefenseStack([audit]))
         service.query(np.arange(10))
         service.query(np.arange(5))
-        assert audit.report() == {"distinct_samples": 10, "duplicates": 5}
+        assert audit.report() == {
+            "distinct_samples": 10,
+            "duplicates": 5,
+            "consumer_queries": {"anonymous": 15},
+            "consumer_duplicates": {"anonymous": 5},
+        }
 
     def test_query_audit_sees_cache_replays(self):
         """The cache makes repeats free, not invisible: replayed rows are
@@ -330,7 +335,12 @@ class TestOnlineDefenses:
         )
         service.query(np.arange(6))
         service.query(np.arange(6))  # pure replay
-        assert audit.report() == {"distinct_samples": 6, "duplicates": 6}
+        assert audit.report() == {
+            "distinct_samples": 6,
+            "duplicates": 6,
+            "consumer_queries": {"anonymous": 12},
+            "consumer_duplicates": {"anonymous": 6},
+        }
         with pytest.raises(QueryBudgetExceededError, match="query audit"):
             service.query(np.arange(6))
         # Only the first round was chargeable.
@@ -471,6 +481,66 @@ class TestScenarioIntegration:
                     ),
                     scenario=shared,
                 )
+
+    def test_cache_size_knob_reaches_the_service(self):
+        scenario = build_scenario("bank", "lr", 0.4, TINY, 0, cache=True, cache_size=32)
+        assert scenario.service.cache_enabled
+        assert scenario.service.cache_size == 32
+
+    def test_cache_size_round_trips_through_payload(self):
+        from repro.api import ScenarioReport
+
+        config = ScenarioConfig(
+            dataset="bank", model="lr", attack="esa",
+            target_fraction=0.4, scale=TINY, seed=0,
+            cache=True, cache_size=8,
+        )
+        report = run_scenario(config)
+        restored = ScenarioReport.from_payload(report.to_payload())
+        assert restored.config.cache_size == 8
+        # Pre-knob payloads carry no cache_size key: unbounded default.
+        payload = report.to_payload()
+        del payload["config"]["cache_size"]
+        assert ScenarioReport.from_payload(payload).config.cache_size is None
+
+    def test_cache_size_invalid_knobs_fail_fast(self):
+        for kwargs in ({"cache_size": 0, "cache": True}, {"cache_size": 16}):
+            with pytest.raises(ScenarioError, match="cache_size"):
+                run_scenario(
+                    ScenarioConfig(
+                        dataset="bank", model="lr", attack="esa",
+                        target_fraction=0.4, scale=TINY, seed=0, **kwargs,
+                    )
+                )
+        with pytest.raises(ValidationError, match="cache_size"):
+            make_deployment("lr", cache_size=4)  # bound without a cache
+        with pytest.raises(ValidationError, match="cache_scope"):
+            make_deployment("lr", cache=True, cache_scope="tenant")
+
+    def test_prebuilt_scenario_rejects_cache_size(self):
+        shared = build_scenario("bank", "lr", 0.4, TINY, 0)
+        with pytest.raises(ScenarioError, match="prebuilt"):
+            run_scenario(
+                ScenarioConfig(
+                    dataset="bank", model="lr", attack="esa",
+                    target_fraction=0.4, scale=TINY, seed=0,
+                    cache=True, cache_size=4,
+                ),
+                scenario=shared,
+            )
+
+    def test_ample_bound_keeps_metrics_bit_identical(self):
+        """An LRU bound that never binds is observation-only."""
+        base = ScenarioConfig(
+            dataset="bank", model="lr", attack="esa",
+            target_fraction=0.4, scale=TINY, seed=0, cache=True,
+        )
+        bounded = ScenarioConfig(
+            dataset="bank", model="lr", attack="esa",
+            target_fraction=0.4, scale=TINY, seed=0,
+            cache=True, cache_size=10 * TINY.n_predictions,
+        )
+        assert run_scenario(base).metrics == run_scenario(bounded).metrics
 
     def test_audit_hashes_computed_once_per_chunk(self, monkeypatch):
         """With a hash-consuming defense and no cache, the service
