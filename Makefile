@@ -1,11 +1,25 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving
+.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving
 
 ## test: run the full test suite (tier-1 gate)
 test:
 	$(PY) -m pytest -x -q
+
+## lint: repro-lint contract checks, plus ruff/mypy when installed
+lint:
+	$(PY) -m repro.analysis.cli src --strict
+	@if command -v ruff > /dev/null 2>&1; then \
+	    ruff check src tests benchmarks; \
+	else \
+	    echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy > /dev/null 2>&1; then \
+	    mypy; \
+	else \
+	    echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 ## bench: full-scale model-kernel benchmark, writes BENCH_vectorized.json
 bench:
@@ -64,6 +78,12 @@ docs-check:
 	grep -q 'make_trace' docs/architecture.md
 	grep -q 'repro.workload' README.md
 	grep -q 'BENCH_serving_scale' README.md
+	grep -q 'repro-lint' README.md
+	grep -q '## Static analysis' docs/architecture.md
+	grep -q 'rng-discipline' docs/architecture.md
+	grep -q 'layer-boundary' docs/architecture.md
+	$(PY) -c "import repro.analysis as a; assert a.__doc__ and 'repro-lint' in a.__doc__; \
+	    assert all(getattr(a, n).__doc__ for n in ('run_lint', 'LintConfig', 'LintReport', 'Finding', 'RULES'))"
 	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
 	    assert all(getattr(f, n).__doc__ for n in ('Message', 'Transport', 'CommLedger', 'FederationRuntime', 'TopologyConfig', 'FaultPlan'))"
 	$(PY) -c "import repro.bench as b; assert b.__doc__ and 'repro-bench' in b.__doc__; \

@@ -87,6 +87,7 @@ def test_ablation_distiller_capacity(benchmark, scenario):
                 forest, view, X_adv, V,
                 distiller=distiller,
                 grna_kwargs=dict(hidden_sizes=(128, 64), epochs=30, rng=3),
+                rng=4,
             )
             out[label] = (
                 surrogate.fidelity(ds.X[:400]),

@@ -26,6 +26,7 @@ True
 """
 
 from repro import (
+    analysis,
     api,
     attacks,
     datasets,
@@ -41,9 +42,10 @@ from repro import (
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "analysis",
     "api",
     "attacks",
     "datasets",

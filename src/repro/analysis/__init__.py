@@ -1,0 +1,48 @@
+"""repro.analysis — the ``repro-lint`` static contract checker.
+
+Every subsystem in this repo rests on hand-enforced contracts: rngs flow
+through the ``spawn_rngs`` prefix scheme, no value crosses a party
+boundary outside the metered codec, results depend only on (config,
+seed). Runtime oracle tests defend those contracts after the fact; this
+package rejects contract-violating code *before* it runs.
+
+The framework mirrors the repo's registry idiom: :data:`RULES` maps rule
+ids to AST-visitor rule classes, exactly as ``ATTACKS`` maps attack
+keys to adapters. Shipped rules:
+
+- ``rng-discipline`` — no OS-entropy or process-global randomness;
+- ``wallclock-entropy`` — wall-clock reads confined to the timing tier;
+- ``ordered-iteration`` — no unordered producers feeding ordered outputs;
+- ``layer-boundary`` — the architecture stack's import DAG, plus the
+  attacks-query-through-PredictionService boundary;
+- ``exception-hygiene`` — no broad catches that swallow failures;
+- ``registry-completeness`` — registered attacks/experiments keep their
+  protocol surfaces (cross-module).
+
+Escape hatches: inline ``# repro: allow[rule-id] reason`` pragmas and a
+checked-in fingerprint baseline — both audited by the
+``suppression-hygiene`` meta rule. Drive it via the ``repro-lint``
+console script (``repro-lint src --strict`` is the CI gate) or
+:func:`run_lint`.
+"""
+
+from repro.analysis import rules  # noqa: F401  (populate RULES on import)
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import RULES, LintRule, SourceFile
+from repro.analysis.engine import LintReport, run_lint
+from repro.analysis.findings import Finding, fingerprint
+from repro.analysis.reporting import to_json, to_text
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "LintRule",
+    "SourceFile",
+    "fingerprint",
+    "load_config",
+    "run_lint",
+    "to_json",
+    "to_text",
+]

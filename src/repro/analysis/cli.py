@@ -1,0 +1,130 @@
+"""``repro-lint`` — the console entry point of the contract checker.
+
+Usage::
+
+    repro-lint src                      # lint, human output, exit 1 on findings
+    repro-lint src --strict             # CI mode: stale baseline entries also fail
+    repro-lint src --format json        # machine-readable report
+    repro-lint src --write-baseline     # grandfather current findings
+    repro-lint --list-rules             # every rule id and its contract
+
+Exit codes: 0 clean, 1 findings (or, under ``--strict``, a stale
+baseline), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import repro.analysis.rules  # noqa: F401  (populate RULES)
+from repro.analysis.core import RULES
+from repro.analysis.engine import run_lint
+from repro.analysis.reporting import to_json, to_text
+from repro.analysis.suppressions import write_baseline
+from repro.exceptions import ValidationError
+
+#: Default baseline filename, resolved against the project root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based contract checker for the repro codebase: determinism "
+            "(rng/wallclock/ordering), layering, exception hygiene, and "
+            "registry completeness."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} at the project root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=None, help="project root (default: auto-detected)"
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and its contract, then exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id in RULES.names():
+        rule = RULES.get(rule_id)
+        lines.append(f"{rule_id} [{rule.scope}]")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    baseline = args.baseline
+    try:
+        if baseline is None:
+            root_probe = Path(args.root) if args.root else Path(args.paths[0])
+            from repro.analysis.config import find_root
+
+            default = find_root(root_probe) / DEFAULT_BASELINE
+            baseline = str(default) if default.is_file() else None
+        report, sources = run_lint(
+            args.paths,
+            root=args.root,
+            select=select,
+            baseline=None if args.write_baseline else baseline,
+        )
+    except (ValidationError, OSError, ValueError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = Path(baseline) if baseline else report.root / DEFAULT_BASELINE
+        write_baseline(target, report.fingerprints(sources))
+        print(
+            f"wrote {len(report.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.format == "json":
+        sys.stdout.write(to_json(report, strict=args.strict))
+    else:
+        print(to_text(report, strict=args.strict))
+    return report.strict_exit_code() if args.strict else report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""The lint engine: collect, parse, run rules, suppress, baseline.
+
+:func:`run_lint` is the single entry point both the CLI and the test
+suite drive. The pipeline is deterministic end to end — files are
+visited in sorted order, findings are sorted, fingerprints hash content
+rather than line numbers — so a lint report is itself a reproducible
+artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig, find_root, load_config
+from repro.analysis.core import RULES, LintRule, SourceFile, module_name_for
+from repro.analysis.findings import Finding, fingerprint
+from repro.analysis.suppressions import (
+    Pragma,
+    load_baseline,
+    pragma_for,
+    scan_pragmas,
+)
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, already sorted."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any active finding remains."""
+        return 1 if self.findings else 0
+
+    def strict_exit_code(self) -> int:
+        """Like :attr:`exit_code`, but stale baseline entries also fail."""
+        return 1 if (self.findings or self.stale_baseline) else 0
+
+    def fingerprints(self, sources: "dict[str, SourceFile]") -> dict[str, dict]:
+        """Baseline entries for the current active findings."""
+        return _fingerprint_all(self.findings, sources)
+
+
+def _fingerprint_all(
+    findings: "list[Finding]", sources: "dict[str, SourceFile]"
+) -> dict[str, dict]:
+    entries: dict[str, dict] = {}
+    occurrences: dict[tuple[str, str, str], int] = {}
+    for finding in sorted(findings):
+        src = sources.get(finding.path)
+        line_text = ""
+        if src is not None and 0 < finding.line <= len(src.lines):
+            line_text = src.lines[finding.line - 1]
+        key = (finding.rule, finding.path, line_text.strip())
+        index = occurrences.get(key, 0)
+        occurrences[key] = index + 1
+        entries[fingerprint(finding, line_text, index)] = finding.to_payload()
+    return entries
+
+
+def _excluded(relpath: str, config: LintConfig) -> bool:
+    path = Path(relpath)
+    for pattern in config.exclude:
+        prefix = pattern.rstrip("*/")
+        if relpath.startswith(prefix) or path.match(pattern):
+            return True
+    return False
+
+
+def collect_sources(
+    paths: "list[Path]", root: Path, config: LintConfig
+) -> "tuple[list[SourceFile], list[Finding]]":
+    """Parse every ``.py`` file under ``paths``, sorted and de-duplicated."""
+    files: list[Path] = []
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise ValidationError(f"not a Python file or directory: {path}")
+    sources: list[SourceFile] = []
+    failures: list[Finding] = []
+    seen: set[Path] = set()
+    for path in files:
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        if _excluded(relpath, config):
+            continue
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    relpath,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    "parse-error",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        sources.append(
+            SourceFile(
+                path=path,
+                relpath=relpath,
+                module=module_name_for(path),
+                text=text,
+                lines=text.splitlines(),
+                tree=tree,
+            )
+        )
+    return sources, failures
+
+
+def _selected_rules(select: "list[str] | None") -> "list[LintRule]":
+    names = RULES.names() if select is None else list(select)
+    return [RULES.get(name)() for name in names]
+
+
+def _apply_pragmas(
+    raw: "list[Finding]", pragma_maps: "dict[str, dict[int, Pragma]]",
+    sources: "dict[str, SourceFile]",
+) -> "tuple[list[Finding], list[Finding]]":
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        if finding.rule in ("suppression-hygiene", "parse-error"):
+            active.append(finding)
+            continue
+        src = sources.get(finding.path)
+        pragma = None
+        if src is not None:
+            pragma = pragma_for(
+                finding, pragma_maps.get(finding.path, {}), src.lines
+            )
+        if pragma is None:
+            active.append(finding)
+        else:
+            pragma.used.add(finding.rule)
+            suppressed.append(finding)
+    return active, suppressed
+
+
+def _pragma_hygiene(
+    pragma_maps: "dict[str, dict[int, Pragma]]",
+) -> "list[Finding]":
+    findings: list[Finding] = []
+    known = set(RULES.names())
+    for relpath in sorted(pragma_maps):
+        for line in sorted(pragma_maps[relpath]):
+            pragma = pragma_maps[relpath][line]
+            unknown = [rid for rid in pragma.rule_ids if rid not in known]
+            if unknown:
+                findings.append(
+                    Finding(
+                        relpath,
+                        pragma.line,
+                        0,
+                        "suppression-hygiene",
+                        f"pragma names unknown rule id(s) {unknown}; "
+                        "see repro-lint --list-rules",
+                    )
+                )
+            if not pragma.reason:
+                findings.append(
+                    Finding(
+                        relpath,
+                        pragma.line,
+                        0,
+                        "suppression-hygiene",
+                        "pragma carries no reason; write "
+                        "'# repro: allow[rule-id] why this is sound'",
+                    )
+                )
+            unused = [
+                rid
+                for rid in pragma.rule_ids
+                if rid in known and rid not in pragma.used
+            ]
+            if unused:
+                findings.append(
+                    Finding(
+                        relpath,
+                        pragma.line,
+                        0,
+                        "suppression-hygiene",
+                        f"pragma suppresses nothing for {unused}; "
+                        "remove it so suppressions cannot rot",
+                    )
+                )
+    return findings
+
+
+def run_lint(
+    paths: "list[str | Path]",
+    *,
+    root: "str | Path | None" = None,
+    config: "LintConfig | None" = None,
+    select: "list[str] | None" = None,
+    baseline: "str | Path | None" = None,
+) -> "tuple[LintReport, dict[str, SourceFile]]":
+    """Lint ``paths`` and return ``(report, sources_by_relpath)``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint.
+    root:
+        Project root for relative paths and pyproject config discovery;
+        auto-detected from the first path when omitted.
+    config:
+        Explicit :class:`LintConfig`; defaults to
+        :func:`~repro.analysis.config.load_config` at ``root``.
+    select:
+        Rule ids to run (default: all registered rules).
+    baseline:
+        Baseline file of grandfathered fingerprints; matched findings
+        move out of the failing set.
+    """
+    resolved = [Path(p) for p in paths]
+    if not resolved:
+        raise ValidationError("no paths to lint")
+    root_path = find_root(resolved[0]) if root is None else Path(root).resolve()
+    cfg = load_config(root_path) if config is None else config
+    sources, parse_failures = collect_sources(resolved, root_path, cfg)
+    by_path = {src.relpath: src for src in sources}
+
+    raw: list[Finding] = list(parse_failures)
+    rules = _selected_rules(select)
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
+    for src in sources:
+        for rule in file_rules:
+            raw.extend(rule.check(src, cfg))
+    for rule in project_rules:
+        raw.extend(rule.check_project(sources, cfg))
+
+    pragma_maps = {src.relpath: scan_pragmas(src.text) for src in sources}
+    active, suppressed = _apply_pragmas(raw, pragma_maps, by_path)
+    if select is None or "suppression-hygiene" in select:
+        active.extend(_pragma_hygiene(pragma_maps))
+
+    report = LintReport(root=root_path, n_files=len(sources))
+    baseline_path = baseline or cfg.baseline_path
+    baseline_entries: dict[str, dict] = {}
+    if baseline_path is not None:
+        resolved_baseline = Path(baseline_path)
+        if not resolved_baseline.is_absolute():
+            resolved_baseline = root_path / resolved_baseline
+        baseline_entries = load_baseline(resolved_baseline)
+
+    if baseline_entries:
+        current = _fingerprint_all(active, by_path)
+        matched_fps = {fp for fp in current if fp in baseline_entries}
+        matched_payloads = [
+            current[fp] for fp in current if fp in matched_fps
+        ]
+        matched_keys = {
+            (p["path"], p["line"], p["col"], p["rule"], p["message"])
+            for p in matched_payloads
+        }
+        for finding in active:
+            key = (
+                finding.path,
+                finding.line,
+                finding.col,
+                finding.rule,
+                finding.message,
+            )
+            if key in matched_keys:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.stale_baseline = sorted(
+            fp for fp in baseline_entries if fp not in matched_fps
+        )
+    else:
+        report.findings = list(active)
+
+    report.findings.sort()
+    report.suppressed = sorted(suppressed)
+    report.baselined.sort()
+    return report, by_path

@@ -1,0 +1,54 @@
+"""Finding records and stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+are value objects: the engine sorts them into a deterministic order and
+fingerprints them for the baseline workflow, so two runs over the same
+tree always produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, POSIX-style, relative to the lint
+        root (so fingerprints are machine-portable).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Registered rule id (``"rng-discipline"``, ...).
+    message:
+        Human-readable statement of the violated contract.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form (the ``findings[]`` schema of ``--format json``)."""
+        return asdict(self)
+
+
+def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Stable identity of a finding for the baseline file.
+
+    Hashes the rule id, the file path, the *stripped source text* of the
+    offending line, and an occurrence index (disambiguating identical
+    lines), but never the line number — so grandfathered findings survive
+    unrelated edits that shift code up or down.
+    """
+    blob = "\x00".join(
+        [finding.rule, finding.path, line_text.strip(), str(occurrence)]
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]

@@ -1,0 +1,56 @@
+"""Render a :class:`~repro.analysis.engine.LintReport` as text or JSON.
+
+The JSON document is a stable schema (``schema`` key, currently 1) so CI
+and tooling can consume reports without scraping the human output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+#: Version of the ``--format json`` document.
+JSON_SCHEMA_VERSION = 1
+
+
+def to_text(report: LintReport, *, strict: bool = False) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}"
+        for f in report.findings
+    ]
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.n_files} file(s)"
+        f" ({len(report.suppressed)} suppressed by pragma,"
+        f" {len(report.baselined)} baselined)"
+    )
+    if report.stale_baseline:
+        state = "error" if strict else "note"
+        summary += (
+            f"; {state}: {len(report.stale_baseline)} stale baseline entrie(s) —"
+            " re-run with --write-baseline to prune"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json(report: LintReport, *, strict: bool = False) -> str:
+    """The machine-readable report (sorted keys, trailing newline)."""
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "strict": strict,
+        "files_checked": report.n_files,
+        "findings": [f.to_payload() for f in report.findings],
+        "suppressed": [f.to_payload() for f in report.suppressed],
+        "baselined": [f.to_payload() for f in report.baselined],
+        "stale_baseline": list(report.stale_baseline),
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,16 @@
+"""Built-in lint rules; importing this package populates ``RULES``.
+
+Each module encodes one repo contract as an AST pass — see the rule
+docstrings (or ``repro-lint --list-rules``) for the contract each one
+defends and the canonical fix for a violation.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side-effects)
+    entropy,
+    excepts,
+    layering,
+    meta,
+    ordering,
+    registries,
+    rng,
+)

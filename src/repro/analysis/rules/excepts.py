@@ -1,0 +1,90 @@
+"""``exception-hygiene`` — no broad catches that swallow failures.
+
+Fault injection (dropped parties, exhausted budgets) and oracle tests
+only work if unexpected exceptions *surface*. A bare ``except:`` or a
+broad ``except Exception:`` that neither re-raises nor propagates turns
+a real bug — a shape error inside a protocol round, a poisoned cache —
+into silently-wrong results. The rule flags:
+
+- every bare ``except:``;
+- ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose handler body contains no ``raise``.
+
+Cleanup-on-failure code should prefer ``try/finally`` with a
+success flag (which needs no catch at all) or catch the typed
+:mod:`repro.exceptions` classes it actually expects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import RULES, LintRule, SourceFile
+from repro.analysis.findings import Finding
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names(expr: ast.expr | None) -> "Iterator[str]":
+    """Exception-class names caught by a handler's type expression."""
+    if expr is None:
+        return
+    elements = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            yield element.id
+        elif isinstance(element, ast.Attribute):
+            yield element.attr
+
+
+def _reraises(body: list[ast.stmt]) -> bool:
+    """True if the handler body contains a ``raise`` outside nested defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@RULES.register("exception-hygiene")
+class ExceptionHygieneRule(LintRule):
+    """Flag bare excepts and broad catches that swallow without re-raise."""
+
+    rule_id = "exception-hygiene"
+    summary = (
+        "no bare except, and broad Exception catches must re-raise — "
+        "swallowed failures mask real bugs as wrong results"
+    )
+
+    def check(self, src: SourceFile, config) -> "Iterator[Finding]":
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    src.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    "bare except: catches everything, including "
+                    "KeyboardInterrupt; name the exception types you expect",
+                )
+            elif any(n in _BROAD for n in _names(node.type)) and not _reraises(
+                node.body
+            ):
+                yield Finding(
+                    src.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    "broad except swallows the failure; re-raise, narrow to "
+                    "typed repro.exceptions classes, or restructure as "
+                    "try/finally with a success flag",
+                )

@@ -1,0 +1,38 @@
+"""Meta rules emitted by the engine itself (never visited as AST passes).
+
+Registered so ``--list-rules`` documents every rule id that can appear
+in a report, and so pragmas naming them are recognized as known ids.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import RULES, LintRule
+
+
+@RULES.register("suppression-hygiene")
+class SuppressionHygieneRule(LintRule):
+    """Pragmas must carry a reason, name known rules, and suppress something.
+
+    Emitted by the engine after suppression matching: an allow-pragma
+    with no reason, with an unknown rule id, or that suppressed no
+    finding is itself a finding — suppressions are part of the audited
+    contract surface, not a hole in it. These findings cannot be
+    pragma-suppressed (only baselined), which keeps the loop closed.
+    """
+
+    rule_id = "suppression-hygiene"
+    summary = "allow-pragmas must carry a reason, name known rules, and be used"
+    scope = "meta"
+
+
+@RULES.register("parse-error")
+class ParseErrorRule(LintRule):
+    """A file the linter was pointed at must at least parse.
+
+    Emitted by the engine when ``ast.parse`` fails; a syntax error would
+    otherwise silently exempt the file from every contract.
+    """
+
+    rule_id = "parse-error"
+    summary = "files under lint must be parseable Python"
+    scope = "meta"

@@ -1,0 +1,128 @@
+"""``ordered-iteration`` — no unordered producers feed ordered outputs.
+
+Set iteration order and directory-listing order vary across processes
+and platforms (hash randomization, filesystem order), so iterating them
+into anything order-sensitive — a loop that appends, a ``join``, a
+``list(...)`` that becomes a stored payload or a hash input — silently
+breaks replay equality. The rule flags *syntactically direct* iteration
+over unordered producers:
+
+- set displays / comprehensions, ``set(...)`` / ``frozenset(...)`` calls;
+- ``os.listdir`` / ``os.scandir`` / ``glob.glob`` / ``glob.iglob`` and
+  pathlib's ``.glob`` / ``.rglob`` / ``.iterdir``.
+
+The canonical fix is ``sorted(...)`` around the producer; order-free
+reductions (``len``/``min``/``max``/``sum``/``any``/``all``, membership
+tests, set algebra) are naturally not flagged because they never
+*iterate* the producer into an ordered output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import RULES, ImportMap, LintRule, SourceFile, dotted_name
+from repro.analysis.findings import Finding
+
+#: Canonical calls returning unordered (or fs-ordered) collections.
+_UNORDERED_CALLS = frozenset(
+    {"set", "frozenset", "os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names that walk a filesystem in platform order (pathlib).
+_UNORDERED_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Callables whose result does not depend on the argument's iteration
+#: order; a comprehension fed directly into one of these is safe.
+_ORDER_FREE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Callables that materialize their argument *in iteration order*.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {
+        "list",
+        "tuple",
+        "enumerate",
+        "iter",
+        "map",
+        "filter",
+        "reversed",
+        "zip",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.fromiter",
+    }
+)
+
+
+def _producer(node: ast.expr, imports: ImportMap) -> str | None:
+    """Describe ``node`` if it is an unordered producer, else ``None``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set display"
+    if not isinstance(node, ast.Call):
+        return None
+    name = imports.canonical(dotted_name(node.func))
+    if name in _UNORDERED_CALLS:
+        return f"{name}(...)"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _UNORDERED_METHODS:
+        return f".{node.func.attr}(...)"
+    return None
+
+
+@RULES.register("ordered-iteration")
+class OrderedIterationRule(LintRule):
+    """Flag direct iteration over sets and unsorted directory listings."""
+
+    rule_id = "ordered-iteration"
+    summary = (
+        "sets and directory listings must pass through sorted() before "
+        "feeding loops, joins, or materialized sequences"
+    )
+
+    def _finding(self, src: SourceFile, node: ast.expr, what: str, how: str) -> Finding:
+        return Finding(
+            src.relpath,
+            node.lineno,
+            node.col_offset,
+            self.rule_id,
+            f"{what} is iterated {how} in platform-dependent order; "
+            "wrap it in sorted(...) to make the order part of the result",
+        )
+
+    def check(self, src: SourceFile, config) -> "Iterator[Finding]":
+        imports = ImportMap(src.tree)
+        # Comprehensions handed straight to an order-free reducer
+        # (``sorted(x for x in set(...))``) are safe: the reducer erases
+        # iteration order from the result.
+        order_free: set[ast.expr] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                name = imports.canonical(dotted_name(node.func))
+                if name in _ORDER_FREE_CALLS:
+                    order_free.update(node.args)
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                what = _producer(node.iter, imports)
+                if what is not None:
+                    yield self._finding(src, node.iter, what, "by a for-loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if node in order_free:
+                    continue
+                for gen in node.generators:
+                    what = _producer(gen.iter, imports)
+                    if what is not None:
+                        yield self._finding(src, gen.iter, what, "by a comprehension")
+            elif isinstance(node, ast.Call):
+                name = imports.canonical(dotted_name(node.func))
+                is_join = (
+                    isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                )
+                if name not in _ORDER_SENSITIVE_CALLS and not is_join:
+                    continue
+                consumer = "str.join" if is_join else f"{name}()"
+                for arg in node.args:
+                    what = _producer(arg, imports)
+                    if what is not None:
+                        yield self._finding(src, arg, what, f"by {consumer}")

@@ -1,0 +1,113 @@
+"""``rng-discipline`` — all randomness flows from explicit seeds.
+
+The repo's reproducibility story rests on one discipline: every random
+stream is a :class:`numpy.random.Generator` that arrived as a parameter
+or was derived through :func:`repro.utils.random.spawn_rngs`'s
+prefix-stable scheme. Three syntactic shapes break it:
+
+- ``np.random.default_rng()`` with no seed (or an explicit ``None``)
+  draws OS entropy — the bug class PR 1 fixed in the RF path;
+- legacy module-level numpy randomness (``np.random.seed`` /
+  ``np.random.normal`` / ``np.random.RandomState`` ...) shares one
+  process-global stream, so results depend on call order and threading;
+- the stdlib ``random`` module does both at once.
+
+The fix is always the same: accept an ``rng`` argument and normalize it
+with :func:`repro.utils.random.check_random_state`, or split an existing
+stream with ``spawn_rngs``. The one sanctioned entropy opt-in
+(``check_random_state(None, entropy=True)``) carries an inline pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import RULES, ImportMap, LintRule, SourceFile, dotted_name
+from repro.analysis.findings import Finding
+
+#: np.random attributes that are *not* the legacy global-stream API.
+_GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True for ``default_rng()`` and ``default_rng(None)``."""
+    if call.keywords:
+        seed_kw = [kw for kw in call.keywords if kw.arg in (None, "seed")]
+        if not seed_kw:
+            return not call.args
+        return all(
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+            for kw in seed_kw
+            if kw.arg == "seed"
+        ) and not call.args
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@RULES.register("rng-discipline")
+class RngDisciplineRule(LintRule):
+    """Forbid OS-entropy generators and process-global random streams."""
+
+    rule_id = "rng-discipline"
+    summary = (
+        "randomness must come from an explicit seed or a spawn_rngs stream, "
+        "never OS entropy or the process-global numpy/stdlib state"
+    )
+
+    def check(self, src: SourceFile, config) -> "Iterator[Finding]":
+        imports = ImportMap(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(dotted_name(node.func))
+            if name is None:
+                continue
+            if name == "numpy.random.default_rng" and _is_unseeded(node):
+                yield Finding(
+                    src.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    "unseeded np.random.default_rng() draws OS entropy; pass "
+                    "an explicit seed or thread an rng parameter through",
+                )
+            elif name.startswith("numpy.random."):
+                attr = name.split(".")[2]
+                if attr not in _GENERATOR_API:
+                    yield Finding(
+                        src.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        f"np.random.{attr} uses the process-global legacy "
+                        "stream; use a Generator from check_random_state/"
+                        "spawn_rngs instead",
+                    )
+            elif name == "random" or name.startswith("random."):
+                # Only flag when the head really is the stdlib module,
+                # not a local variable that happens to be called `random`.
+                if imports.aliases.get(name.split(".")[0], "").split(".")[0] == "random":
+                    yield Finding(
+                        src.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        "the stdlib random module is process-global and "
+                        "unseeded; use numpy Generators via "
+                        "check_random_state/spawn_rngs",
+                    )

@@ -1,0 +1,111 @@
+"""Inline pragmas and the checked-in baseline.
+
+Two escape hatches keep ``--strict`` usable on a living codebase:
+
+**Inline pragma** — ``# repro: allow[rule-id] reason`` on the offending
+line (or on a comment line directly above it) suppresses that rule
+there. The reason is mandatory: a suppression without one is itself a
+finding (``suppression-hygiene``), as is a pragma that suppresses
+nothing or names an unknown rule — so pragmas cannot rot silently.
+
+**Baseline** — a JSON file of fingerprints for grandfathered findings
+(see :func:`repro.analysis.findings.fingerprint`). ``--write-baseline``
+records the current findings; subsequent runs report only *new* ones.
+Stale entries (fixed findings still in the file) fail ``--strict`` so
+the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[A-Za-z0-9_\-, ]+)\]\s*(?P<reason>.*)$"
+)
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def scan_pragmas(text: str) -> dict[int, Pragma]:
+    """Find every allow-pragma in a module, keyed by 1-based line.
+
+    Scans real ``COMMENT`` tokens only, so pragma syntax quoted inside a
+    docstring or string literal is documentation, not a suppression.
+    """
+    pragmas: dict[int, Pragma] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        pragmas[line] = Pragma(line, ids, match.group("reason").strip())
+    return pragmas
+
+
+def pragma_for(
+    finding: Finding, pragmas: dict[int, Pragma], lines: list[str]
+) -> Pragma | None:
+    """The pragma suppressing ``finding``, if any.
+
+    A pragma applies from its own line, or from a comment-only line
+    immediately above the offending one.
+    """
+    direct = pragmas.get(finding.line)
+    if direct is not None and finding.rule in direct.rule_ids:
+        return direct
+    above = pragmas.get(finding.line - 1)
+    if (
+        above is not None
+        and finding.rule in above.rule_ids
+        and finding.line - 2 < len(lines)
+        and lines[finding.line - 2].lstrip().startswith("#")
+    ):
+        return above
+    return None
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """Read a baseline file; an absent file is an empty baseline."""
+    if not path.is_file():
+        return {}
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    return dict(payload["entries"])
+
+
+def write_baseline(path: Path, entries: dict[str, dict]) -> None:
+    """Write ``entries`` as a sorted, diff-friendly baseline file."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -34,7 +34,7 @@ class RandomGuessAttack(FeatureInferenceAttack):
         view: AdversaryView,
         *,
         distribution: str = "uniform",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         if distribution not in ("uniform", "gaussian"):
             raise ValidationError(
@@ -66,7 +66,7 @@ class RandomGuessAttack(FeatureInferenceAttack):
 
 
 def random_path(
-    structure: TreeStructure, rng: np.random.Generator | int | None = None
+    structure: TreeStructure, rng: np.random.Generator | int = 0
 ) -> list[int]:
     """Pick a uniformly random root-to-leaf path (PRA's baseline)."""
     rng = check_random_state(rng)

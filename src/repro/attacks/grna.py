@@ -100,7 +100,7 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         use_generator: bool = True,
         output_activation: str = "sigmoid",
         clip_to_unit: bool = True,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         if not isinstance(model, DifferentiableClassifier):
             raise AttackError(
@@ -397,7 +397,7 @@ def attack_random_forest(
     *,
     distiller: RandomForestDistiller | None = None,
     grna_kwargs: dict | None = None,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> tuple[AttackResult, RandomForestDistiller]:
     """GRNA against a (non-differentiable) random forest, §V-B.
 

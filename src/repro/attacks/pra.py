@@ -216,7 +216,7 @@ class PathRestrictionAttack:
         self,
         x_adv: np.ndarray,
         predicted_class: int,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> PathRestrictionResult:
         """Restrict paths and select one candidate uniformly at random."""
         indicator = self.restrict(x_adv, predicted_class)

@@ -31,7 +31,7 @@ def make_classification(
     n_redundant: int | None = None,
     class_sep: float = 1.0,
     noise: float = 1.0,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gaussian clusters on hypercube vertices, plus redundant/noise columns.
 
@@ -109,7 +109,7 @@ def make_correlated_tabular(
     factor_strength: float = 0.85,
     label_strength: float = 2.5,
     marginal_gamma: float | None = None,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Latent-factor tabular data with strong cross-feature correlations.
 

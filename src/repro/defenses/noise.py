@@ -25,7 +25,7 @@ def noise_confidence_scores(
     scale: float,
     *,
     kind: str = "laplace",
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> np.ndarray:
     """Perturb confidence scores with Laplace or Gaussian noise.
 
@@ -72,7 +72,7 @@ class NoisyModel(ModelWrapper):
         scale: float,
         *,
         kind: str = "laplace",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         warnings.warn(
             "Constructing NoisyModel directly is deprecated; use the "
@@ -90,7 +90,7 @@ class NoisyModel(ModelWrapper):
         scale: float,
         *,
         kind: str = "laplace",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> "NoisyModel":
         """Internal constructor for the api layer (no deprecation warning)."""
         wrapper = cls.__new__(cls)
@@ -103,7 +103,7 @@ class NoisyModel(ModelWrapper):
         scale: float,
         *,
         kind: str = "laplace",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         ModelWrapper.__init__(self, model)
         self.scale = check_in_range(scale, name="scale", low=0.0)

@@ -69,7 +69,12 @@ class RunSummary:
 
 
 def utc_now() -> str:
-    """Current UTC time as an ISO-8601 string."""
+    """Current UTC time as an ISO-8601 string.
+
+    Stamped into ``created_at`` metadata only; unit identity is the
+    ``(experiment, scale, unit_id, config_hash)`` key, never the stamp.
+    """
+    # repro: allow[wallclock-entropy] created_at is audit metadata, excluded from result identity
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 

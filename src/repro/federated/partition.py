@@ -196,7 +196,7 @@ class FeaturePartition:
         cls,
         n_features: int,
         sizes: list[int],
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> "FeaturePartition":
         """Assign randomly permuted columns in blocks of the given ``sizes``."""
         if sum(sizes) != n_features:
@@ -216,7 +216,7 @@ class FeaturePartition:
         cls,
         n_features: int,
         target_fraction: float,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> "FeaturePartition":
         """Two-party split with a random ``target_fraction`` of columns targeted.
 
@@ -238,7 +238,7 @@ class FeaturePartition:
         n_parties: int = 2,
         colluders: tuple[int, ...] = (),
         strategy: str = "uniform",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
         **strategy_params,
     ) -> "FeaturePartition":
         """N-party generalization of :meth:`adversary_target`.

@@ -65,6 +65,7 @@ def _exchange_round(
     cannot poison a later round.
     """
     round_id = transport.ledger.begin_round()
+    completed = False
     try:
         for node in passives:
             transport.send(
@@ -73,10 +74,16 @@ def _exchange_round(
         replies = scheduler.run_round([node.respond for node in passives])
         for reply in replies:
             transport.send(reply)
-        return active.collect_blocks(len(passives), round_id)
-    except Exception:
-        transport.clear()
-        raise
+        blocks = active.collect_blocks(len(passives), round_id)
+        completed = True
+        return blocks
+    finally:
+        # Cleanup-on-failure without a broad catch: any exception —
+        # budget, dropped party, or a genuine bug — propagates untouched
+        # while delivered-but-unconsumed frames are cleared so they
+        # cannot poison a later round.
+        if not completed:
+            transport.clear()
 
 
 class FederationRuntime:

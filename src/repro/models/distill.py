@@ -55,7 +55,7 @@ class RandomForestDistiller(DifferentiableClassifier):
         epochs: int = 20,
         batch_size: int = 256,
         loss: str = "soft_ce",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.hidden_sizes = tuple(

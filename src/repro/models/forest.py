@@ -42,7 +42,7 @@ class RandomForestClassifier(BaseClassifier):
         max_features: int | str | None = "sqrt",
         bootstrap: bool = True,
         min_samples_leaf: int = 1,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.n_trees = check_positive_int(n_trees, name="n_trees")

@@ -51,7 +51,7 @@ class LogisticRegression(DifferentiableClassifier):
         epochs: int = 100,
         batch_size: int = 256,
         l2: float = 1e-4,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.lr = check_in_range(lr, name="lr", low=0.0, inclusive=False)

@@ -44,7 +44,7 @@ class MLPClassifier(DifferentiableClassifier):
         batch_size: int = 128,
         dropout: float = 0.0,
         optimizer: str = "adam",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.hidden_sizes = tuple(

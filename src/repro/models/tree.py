@@ -180,7 +180,7 @@ class DecisionTreeClassifier(BaseClassifier):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | str | None = None,
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.max_depth = check_positive_int(max_depth, name="max_depth")

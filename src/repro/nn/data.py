@@ -16,7 +16,7 @@ def batch_indices(
     *,
     shuffle: bool = True,
     drop_last: bool = False,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> Iterator[np.ndarray]:
     """Yield index arrays that partition ``range(n_samples)`` into batches."""
     if n_samples <= 0:
@@ -39,7 +39,7 @@ def iterate_batches(
     *,
     shuffle: bool = True,
     drop_last: bool = False,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> Iterator[tuple[np.ndarray, ...]]:
     """Yield aligned mini-batches from several equally-long arrays."""
     arrays = [np.asarray(a) for a in arrays]
@@ -60,7 +60,7 @@ def train_test_split(
     y: np.ndarray,
     *,
     test_fraction: float = 0.5,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shuffle-split ``(X, y)`` into train and test partitions."""
     if not 0.0 < test_fraction < 1.0:

@@ -9,7 +9,7 @@ from repro.utils.random import check_random_state
 
 
 def xavier_uniform(
-    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+    fan_in: int, fan_out: int, rng: np.random.Generator | int = 0
 ) -> np.ndarray:
     """Glorot/Xavier uniform init: ``U(-a, a)`` with ``a = sqrt(6/(in+out))``.
 
@@ -22,7 +22,7 @@ def xavier_uniform(
 
 
 def kaiming_uniform(
-    fan_in: int, fan_out: int, rng: np.random.Generator | int | None = None
+    fan_in: int, fan_out: int, rng: np.random.Generator | int = 0
 ) -> np.ndarray:
     """He/Kaiming uniform init: ``U(-a, a)`` with ``a = sqrt(6/in)``.
 
@@ -37,7 +37,7 @@ def kaiming_uniform(
 def normal_init(
     fan_in: int,
     fan_out: int,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
     std: float = 0.01,
 ) -> np.ndarray:
     """Small-variance Gaussian init ``N(0, std^2)`` (Algorithm 2, line 1)."""

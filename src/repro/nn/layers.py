@@ -32,7 +32,7 @@ class Linear(Module):
         *,
         bias: bool = True,
         init: str = "kaiming",
-        rng: np.random.Generator | int | None = None,
+        rng: np.random.Generator | int = 0,
     ) -> None:
         super().__init__()
         self.in_features = check_positive_int(in_features, name="in_features")
@@ -157,7 +157,7 @@ class Dropout(Module):
     (Fig. 11e-f) and available for the generator.
     """
 
-    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int = 0) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValidationError(f"dropout probability must be in [0, 1), got {p}")
@@ -175,7 +175,7 @@ def mlp(
     layer_norm: bool = False,
     dropout: float = 0.0,
     init: str = "kaiming",
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> Sequential:
     """Build a multilayer perceptron from a list of layer widths.
 

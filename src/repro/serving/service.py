@@ -351,17 +351,21 @@ class PredictionService:
 
         computed = np.empty((0, self.n_classes))
         if granted or hit_pos:
+            released = False
             try:
                 if granted:
                     computed = self._protocol_predict(chunk[served_miss])
                 computed = self._apply_on_query(
                     computed, chunk, served_miss, hit_pos, hashes, consumer
                 )
-            except Exception:
+                released = True
+            finally:
                 # A refused batch released nothing; un-charge it so the
                 # ledger keeps meaning "responses the consumer received".
-                self.ledger.refund(granted, consumer)
-                raise
+                # try/finally instead of a broad except: the defense's
+                # refusal (or any genuine bug) propagates untouched.
+                if not released:
+                    self.ledger.refund(granted, consumer)
 
         if cache is None:
             # No cache: the computed block is the response (hot path).

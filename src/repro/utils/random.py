@@ -12,21 +12,38 @@ import numpy as np
 from repro.exceptions import ValidationError
 
 
-def check_random_state(seed: int | np.random.Generator | None) -> np.random.Generator:
+def check_random_state(
+    seed: int | np.random.Generator | None, *, entropy: bool = False
+) -> np.random.Generator:
     """Normalize ``seed`` into a :class:`numpy.random.Generator`.
 
     Parameters
     ----------
     seed:
-        ``None`` for a fresh nondeterministic generator, an ``int`` to seed a
-        new generator, or an existing :class:`~numpy.random.Generator` which
-        is returned unchanged.
+        An ``int`` to seed a new generator, or an existing
+        :class:`~numpy.random.Generator` which is returned unchanged.
+        ``None`` is rejected unless ``entropy=True``: an unseeded
+        generator draws OS entropy and silently produces runs nothing
+        can replay, which is exactly the bug class this library exists
+        to rule out.
+    entropy:
+        Explicit opt-in for a fresh OS-entropy generator when ``seed``
+        is ``None`` — the caller is stating, in code, that the stream's
+        draws never feed a reproducible result.
 
     Returns
     -------
     numpy.random.Generator
     """
     if seed is None:
+        if not entropy:
+            raise ValidationError(
+                "seed is None: pass an explicit integer seed or Generator "
+                "(or opt into OS entropy with entropy=True) — unseeded "
+                "generators silently break reproducibility"
+            )
+        # The single sanctioned OS-entropy source in the library.
+        # repro: allow[rng-discipline] explicit entropy=True opt-in is this function's contract
         return np.random.default_rng()
     if isinstance(seed, np.random.Generator):
         return seed
@@ -39,14 +56,19 @@ def check_random_state(seed: int | np.random.Generator | None) -> np.random.Gene
     )
 
 
-def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+def spawn_rngs(
+    seed: int | np.random.Generator | None, n: int, *, entropy: bool = False
+) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from ``seed``.
 
     Useful when several components (e.g. the trees of a random forest) each
-    need their own stream but the caller supplies a single seed.
+    need their own stream but the caller supplies a single seed. The schedule
+    is prefix-stable in ``n``: the first ``k`` streams of ``spawn_rngs(s, n)``
+    equal ``spawn_rngs(s, k)``. ``seed=None`` requires the same explicit
+    ``entropy=True`` opt-in as :func:`check_random_state`.
     """
     if n < 0:
         raise ValidationError(f"n must be non-negative, got {n}")
-    rng = check_random_state(seed)
+    rng = check_random_state(seed, entropy=entropy)
     seeds = rng.integers(0, 2**63 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]

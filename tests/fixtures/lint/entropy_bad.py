@@ -1,0 +1,18 @@
+"""Bad fixture: wall-clock and OS-entropy reads outside the timing tier."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_payload(payload: dict) -> dict:
+    """Wall-clock reads baked into a result payload."""
+    payload["created"] = time.time()
+    payload["when"] = datetime.now().isoformat()
+    return payload
+
+
+def fresh_token() -> str:
+    """OS entropy and UUIDs can never replay."""
+    return uuid.uuid4().hex + os.urandom(8).hex()

@@ -1,0 +1,16 @@
+"""Good fixture: elapsed-time measurement and seed-derived identities."""
+
+import hashlib
+import time
+
+
+def measure(fn):
+    """perf_counter measures elapsed time; it never feeds stored values."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def unit_identity(config_blob: bytes) -> str:
+    """Identities derive from config+seed, not from when the run happened."""
+    return hashlib.sha256(config_blob).hexdigest()[:16]

@@ -1,0 +1,26 @@
+"""Bad fixture: broad catches that swallow failures."""
+
+
+def swallow_everything(fn):
+    """A bare except hides even KeyboardInterrupt."""
+    try:
+        return fn()
+    except:  # noqa: E722 - deliberately bad
+        return None
+
+
+def swallow_broad(fn, log):
+    """Logging without re-raising still masks the bug as a wrong result."""
+    try:
+        return fn()
+    except Exception as exc:
+        log.append(str(exc))
+        return None
+
+
+def swallow_tuple(fn):
+    """Broad catches hide inside tuples too."""
+    try:
+        return fn()
+    except (ValueError, BaseException):
+        return 0

@@ -1,0 +1,1 @@
+"""Fixture package mirroring the repro layout for layer-boundary tests."""

@@ -1,0 +1,11 @@
+"""Bad fixture: a models-layer module reaching up into serving."""
+
+from repro.serving import service  # models (rank 4) must not import serving (rank 8)
+import repro.attacks.grna  # nor attacks (rank 6)
+
+
+def train(model, batches):
+    service.record(model)
+    repro.attacks.grna.probe(model)
+    for batch in batches:
+        model.step(batch)

@@ -1,0 +1,13 @@
+"""Good fixture: a models-layer module importing strictly downward."""
+
+import numpy as np
+
+from repro.config import defaults
+from repro.utils import random as repro_random
+
+
+def train(model, batches, seed):
+    rng = repro_random.check_random_state(seed)
+    for batch in batches:
+        model.step(batch, noise=rng.random(defaults.BATCH))
+    return np.asarray(model.weights)

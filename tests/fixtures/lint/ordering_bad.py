@@ -1,0 +1,25 @@
+"""Bad fixture: unordered producers iterated into ordered outputs."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def hash_input(names):
+    """Set iteration order leaks straight into a joined string."""
+    return ",".join({n.strip() for n in names})
+
+
+def collect_payloads(records):
+    """A set() call materialized in iteration order."""
+    return list(set(records))
+
+
+def replay_logs(root):
+    """Directory listings arrive in filesystem order."""
+    merged = []
+    for name in os.listdir(root):
+        merged.append(name)
+    for path in Path(root).glob("*.jsonl"):
+        merged.append(path.stem)
+    return merged + [p for p in glob.glob("*.json")]

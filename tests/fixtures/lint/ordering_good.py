@@ -1,0 +1,27 @@
+"""Good fixture: sorted producers and order-free reductions."""
+
+import os
+from pathlib import Path
+
+
+def hash_input(names):
+    """sorted() makes the order part of the result."""
+    return ",".join(sorted({n.strip() for n in names}))
+
+
+def count_payloads(records):
+    """Order-free reductions never observe iteration order."""
+    unique = set(records)
+    return len(unique), max(unique, default=None)
+
+
+def replay_logs(root):
+    """Listings are sorted before anything iterates them."""
+    merged = [name for name in sorted(os.listdir(root))]
+    merged.extend(path.stem for path in sorted(Path(root).glob("*.jsonl")))
+    return merged
+
+
+def membership(needle, haystack):
+    """Membership tests are order-free by construction."""
+    return needle in set(haystack)

@@ -1,0 +1,17 @@
+"""Fixture: pragmas that are themselves lint findings."""
+
+import numpy as np
+
+
+def missing_reason():
+    return np.random.default_rng()  # repro: allow[rng-discipline]
+
+
+def unused_pragma():
+    # repro: allow[wallclock-entropy] nothing below ever reads the clock
+    return 42
+
+
+def unknown_rule():
+    # repro: allow[definitely-not-a-rule] suppressing a rule that does not exist
+    return 7

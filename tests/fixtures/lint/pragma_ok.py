@@ -1,0 +1,8 @@
+"""Fixture: a real violation suppressed by a justified pragma."""
+
+import numpy as np
+
+
+def sanctioned_entropy():
+    # repro: allow[rng-discipline] fixture demonstrating a justified suppression
+    return np.random.default_rng()

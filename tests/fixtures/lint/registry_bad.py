@@ -1,0 +1,33 @@
+"""Bad fixture: registrations that break the registry contracts."""
+
+from repro.api.attacks import ATTACKS
+from repro.experiments.spec import ExperimentSpec
+
+
+@ATTACKS.register("incomplete")
+class IncompleteAttack:
+    """Registered but missing run() and any name."""
+
+    def prepare(self, scenario):
+        self.scenario = scenario
+
+
+ATTACKS.register("ghost", GhostAttack)  # noqa: F821 - class never defined
+
+
+def scale_blind_units(scale):
+    """Ignores its ScaleConfig entirely — cannot offer --smoke."""
+    return [{"trial": i} for i in range(8)]
+
+
+def run_unit(spec, scale):
+    return {"loss": 0.0}
+
+
+def aggregate(rows):
+    return rows
+
+
+FIRST = ExperimentSpec("fixture-dup", scale_blind_units, run_unit, aggregate)
+SECOND = ExperimentSpec("fixture-dup", scale_blind_units, run_unit, aggregate)
+INLINE = ExperimentSpec("fixture-lambda", lambda scale: [], run_unit, aggregate)

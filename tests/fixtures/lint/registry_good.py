@@ -1,0 +1,48 @@
+"""Good fixture: registrations that satisfy the registry contracts."""
+
+from functools import partial
+
+from repro.api.attacks import ATTACKS
+from repro.experiments.spec import ExperimentSpec
+
+
+class AttackBase:
+    """A project-visible base supplying part of the surface."""
+
+    def run(self, x_adv, v):
+        return v
+
+
+@ATTACKS.register("fixture-complete")
+class CompleteAttack(AttackBase):
+    name = "fixture-complete"
+
+    def prepare(self, scenario):
+        self.scenario = scenario
+
+
+class ConfiguredAttack(AttackBase):
+    def __init__(self, strength):
+        self.name = f"fixture-configured-{strength}"
+        self.strength = strength
+
+    def prepare(self, scenario):
+        self.scenario = scenario
+
+
+ATTACKS.register("fixture-configured", partial(ConfiguredAttack, strength=2))
+
+
+def trial_units(scale):
+    return [{"trial": i} for i in range(scale.trials)]
+
+
+def run_unit(spec, scale):
+    return {"loss": 0.0, "trials": scale.trials}
+
+
+def aggregate(rows):
+    return rows
+
+
+SPEC = ExperimentSpec("fixture-good", trial_units, run_unit, aggregate)

@@ -1,0 +1,26 @@
+"""Bad fixture: every shape of rng-discipline violation."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_generator():
+    """OS entropy via an unseeded default_rng()."""
+    return np.random.default_rng()
+
+
+def explicit_none():
+    """OS entropy via an explicit None seed."""
+    return np.random.default_rng(None)
+
+
+def legacy_global_stream(n):
+    """Process-global legacy numpy randomness."""
+    np.random.seed(0)
+    return np.random.normal(size=n)
+
+
+def stdlib_random():
+    """The stdlib random module is process-global too."""
+    return random.random() + random.randint(0, 10)

@@ -1,0 +1,19 @@
+"""Good fixture: seeded generators and threaded rng parameters."""
+
+import numpy as np
+
+
+def seeded_generator(seed: int):
+    """An explicit seed is always fine."""
+    return np.random.default_rng(int(seed))
+
+
+def threaded_parameter(rng: np.random.Generator, n: int):
+    """Streams arrive as parameters and are consumed as methods."""
+    return rng.normal(size=n)
+
+
+def spawned_children(rng: np.random.Generator, n: int):
+    """Child streams derived from an existing generator."""
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -8,8 +8,19 @@ from repro.utils.random import check_random_state, spawn_rngs
 
 
 class TestCheckRandomState:
-    def test_none_returns_generator(self):
-        assert isinstance(check_random_state(None), np.random.Generator)
+    def test_none_without_entropy_raises(self):
+        with pytest.raises(ValidationError, match="explicit integer seed"):
+            check_random_state(None)
+
+    def test_none_with_entropy_opt_in_returns_generator(self):
+        assert isinstance(
+            check_random_state(None, entropy=True), np.random.Generator
+        )
+
+    def test_entropy_flag_is_ignored_for_explicit_seeds(self):
+        a = check_random_state(42, entropy=True).random(5)
+        b = check_random_state(42).random(5)
+        np.testing.assert_array_equal(a, b)
 
     def test_int_seed_is_deterministic(self):
         a = check_random_state(42).random(5)
