@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving
+.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving resume-smoke
 
 ## test: run the full test suite (tier-1 gate)
 test:
@@ -39,6 +39,10 @@ bench-smoke:
 	$(PY) benchmarks/bench_service.py --tiny
 	$(PY) benchmarks/bench_federation.py --tiny
 	$(PY) benchmarks/bench_serving_scale.py --tiny
+
+## resume-smoke: SIGKILL a GRNA run mid-epoch, resume it, assert bit-identical report
+resume-smoke:
+	$(PY) scripts/kill_resume_smoke.py
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -82,6 +86,12 @@ docs-check:
 	grep -q '## Static analysis' docs/architecture.md
 	grep -q 'rng-discipline' docs/architecture.md
 	grep -q 'layer-boundary' docs/architecture.md
+	grep -q '## Checkpoint layer' docs/architecture.md
+	grep -q 'SnapshotStore' docs/architecture.md
+	grep -q 'checkpoint-completeness' docs/architecture.md
+	grep -q 'run_scenario_resumable' docs/architecture.md
+	grep -q 'repro-ckpt' README.md
+	grep -q 'run_scenario_resumable' README.md
 	$(PY) -c "import repro.analysis as a; assert a.__doc__ and 'repro-lint' in a.__doc__; \
 	    assert all(getattr(a, n).__doc__ for n in ('run_lint', 'LintConfig', 'LintReport', 'Finding', 'RULES'))"
 	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
@@ -95,3 +105,5 @@ docs-check:
 	    assert all(getattr(e, n).__doc__ for n in ('ResultsStore', 'RunSummary', 'run_batch', 'TrialSpec'))"
 	$(PY) -c "import repro.api as a; assert a.__doc__ and 'run_scenario' in a.__doc__; \
 	    assert all(getattr(a, n).__doc__ for n in ('Registry', 'DefenseStack', 'ScenarioAttack', 'ScenarioConfig', 'ScenarioReport', 'run_scenario'))"
+	$(PY) -c "import repro.checkpoint as c; assert c.__doc__ and 'bit-identical' in c.__doc__; \
+	    assert all(getattr(c, n).__doc__ for n in ('CHECKPOINTS', 'StateCodec', 'CheckpointPlan', 'Snapshot', 'SnapshotStore', 'capture_state', 'restore_state'))"

@@ -1,0 +1,169 @@
+"""Kill-and-resume smoke: SIGKILL a GRNA run mid-epoch, resume, compare.
+
+The strongest claim the checkpoint subsystem makes is that a resumed run
+is **bit-identical** to an uninterrupted one — not after a graceful
+pause, but after the ugliest interruption the OS offers. This script
+proves it end to end:
+
+1. seed two identical resumable run directories (``scenario.json`` only);
+2. launch ``repro-ckpt resume`` on the first as a subprocess and SIGKILL
+   it as soon as a couple of training snapshots exist on disk — mid-epoch,
+   no cleanup, no atexit;
+3. run ``repro-ckpt resume`` again on the survivor to completion;
+4. run the second directory uninterrupted;
+5. assert the two ``report.json`` payload digests are equal.
+
+Exit code 0 on success. Run via ``make resume-smoke`` (CI) or directly::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.api import ScenarioConfig  # noqa: E402
+from repro.api.resume import ATTACK_SUBDIR, REPORT_FILE, SCENARIO_FILE, config_payload  # noqa: E402
+from repro.checkpoint import SNAPSHOT_SUFFIX  # noqa: E402
+from repro.config import ScaleConfig  # noqa: E402
+
+# Small data, deliberately many epochs: the run must live long enough
+# (a few seconds) for the parent to observe snapshots and pull the plug.
+SCALE = ScaleConfig(
+    name="killsmoke",
+    n_samples=200,
+    n_predictions=64,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=5,
+    mlp_hidden=(16,),
+    mlp_epochs=2,
+    rf_trees=4,
+    grna_hidden=(32,),
+    grna_epochs=40,
+    distiller_hidden=(32,),
+    distiller_dummy=200,
+    distiller_epochs=2,
+)
+
+CONFIG = ScenarioConfig(
+    dataset="bank",
+    model="nn",
+    attack="grna",
+    target_fraction=0.4,
+    scale=SCALE,
+    seed=13,
+    baselines=("uniform",),
+    batch_size=32,
+)
+
+
+def seed_run_dir(root: Path) -> Path:
+    root.mkdir(parents=True)
+    (root / SCENARIO_FILE).write_text(
+        json.dumps(config_payload(CONFIG), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return root
+
+
+def resume_cmd(run_dir: Path) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments.ckpt_cli",
+        "resume",
+        str(run_dir),
+    ]
+
+
+def count_snapshots(run_dir: Path) -> int:
+    attack = run_dir / ATTACK_SUBDIR
+    if not attack.is_dir():
+        return 0
+    return sum(1 for p in attack.iterdir() if p.name.endswith(SNAPSHOT_SUFFIX))
+
+
+def digest(run_dir: Path) -> str:
+    return hashlib.sha256((run_dir / REPORT_FILE).read_bytes()).hexdigest()
+
+
+def main() -> int:
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    workdir = Path(tempfile.mkdtemp(prefix="repro-kill-resume-"))
+    try:
+        victim_dir = seed_run_dir(workdir / "victim")
+        reference_dir = seed_run_dir(workdir / "reference")
+
+        victim = subprocess.Popen(
+            resume_cmd(victim_dir),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if count_snapshots(victim_dir) >= 2:
+                break
+            if victim.poll() is not None:
+                print(
+                    "FAIL: victim finished (or died) before any mid-run "
+                    f"snapshot was observed (exit {victim.returncode})"
+                )
+                return 1
+            time.sleep(0.05)
+        else:
+            victim.kill()
+            print("FAIL: no snapshots appeared within the deadline")
+            return 1
+
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        if (victim_dir / REPORT_FILE).exists():
+            print("FAIL: victim completed before the kill; nothing was tested")
+            return 1
+        print(
+            f"killed victim at {count_snapshots(victim_dir)} snapshot(s); "
+            "resuming..."
+        )
+
+        resumed = subprocess.run(resume_cmd(victim_dir), env=env)
+        if resumed.returncode != 0:
+            print(f"FAIL: resume exited {resumed.returncode}")
+            return 1
+
+        reference = subprocess.run(resume_cmd(reference_dir), env=env)
+        if reference.returncode != 0:
+            print(f"FAIL: reference run exited {reference.returncode}")
+            return 1
+
+        resumed_digest = digest(victim_dir)
+        reference_digest = digest(reference_dir)
+        if resumed_digest != reference_digest:
+            print(
+                "FAIL: resumed report diverged from uninterrupted report\n"
+                f"  resumed:   {resumed_digest}\n"
+                f"  reference: {reference_digest}"
+            )
+            return 1
+        print(f"PASS: resumed == uninterrupted (sha256 {resumed_digest[:16]}...)")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

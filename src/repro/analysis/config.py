@@ -29,6 +29,7 @@ from pathlib import Path
 DEFAULT_LAYER_RANKS: dict[str, int] = {
     "exceptions": 0,
     "utils": 1,
+    "checkpoint": 2,
     "config": 2,
     "tensor": 2,
     "datasets": 3,

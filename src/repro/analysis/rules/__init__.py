@@ -6,6 +6,7 @@ defends and the canonical fix for a violation.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (registration side-effects)
+    checkpointing,
     entropy,
     excepts,
     layering,

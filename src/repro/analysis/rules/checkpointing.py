@@ -1,0 +1,175 @@
+"""``checkpoint-completeness`` — registered codecs round-trip every declared field.
+
+A checkpoint codec that silently drops a field is the worst kind of bug
+this repo can have: the snapshot writes cleanly, the resume restores
+cleanly, and the run diverges bit-by-bit from an uninterrupted one with
+nothing raising. The :class:`~repro.checkpoint.StateCodec` contract
+defends against this with ``state_fields`` — the codec's own declaration
+of every attribute it round-trips — and this rule cross-checks the
+declaration against the implementation.
+
+For every class reaching ``CHECKPOINTS.register`` (as a decorator or a
+direct registration call):
+
+- ``state_fields`` must be declared as a non-empty tuple of string
+  literals — an empty or missing declaration means the codec's coverage
+  is unverifiable;
+- ``capture`` and ``restore`` methods must both be defined;
+- every declared field name must appear in **both** method bodies,
+  either as an attribute access (``obj.budget``) or as a string literal
+  (``getattr(obj, "budget")``, ``meta["budget"]``) — a field captured
+  but never restored (or vice versa) is exactly the silent divergence
+  the contract exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import RULES, LintRule, SourceFile, dotted_name
+from repro.analysis.findings import Finding
+
+_REQUIRED_METHODS = ("capture", "restore")
+
+
+def _is_checkpoint_register(func: ast.expr) -> bool:
+    name = dotted_name(func)
+    return name is not None and name.endswith("CHECKPOINTS.register")
+
+
+def _registered_codec_classes(tree: ast.Module) -> "Iterator[ast.ClassDef]":
+    """Every class registered into CHECKPOINTS, by decorator or call."""
+    by_name: dict[str, ast.ClassDef] = {}
+    called: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            by_name.setdefault(node.name, node)
+            for dec in node.decorator_list:
+                if isinstance(dec, ast.Call) and _is_checkpoint_register(dec.func):
+                    yield node
+        elif (
+            isinstance(node, ast.Call)
+            and _is_checkpoint_register(node.func)
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Name)
+        ):
+            called.add(node.args[1].id)
+    for name in called:
+        cls = by_name.get(name)
+        if cls is not None:
+            yield cls
+
+
+def _declared_state_fields(
+    cls: ast.ClassDef,
+) -> "tuple[list[str] | None, ast.stmt | None]":
+    """(field names, declaring statement); names None when malformed."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: "ast.expr | None" = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "state_fields" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return [e.value for e in value.elts], stmt
+        return None, stmt
+    return None, None
+
+
+def _mentioned_names(body: "Iterable[ast.stmt]") -> set[str]:
+    """Attribute names and string literals appearing in a method body."""
+    mentioned: set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Attribute):
+                mentioned.add(sub.attr)
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                mentioned.add(sub.value)
+    return mentioned
+
+
+@RULES.register("checkpoint-completeness")
+class CheckpointCompletenessRule(LintRule):
+    """Registered checkpoint codecs must round-trip every declared field."""
+
+    rule_id = "checkpoint-completeness"
+    summary = (
+        "CHECKPOINTS codecs must declare non-empty state_fields and touch "
+        "every declared field in both capture and restore"
+    )
+    scope = "file"
+
+    def check(self, src: SourceFile, config) -> "Iterator[Finding]":
+        for cls in _registered_codec_classes(src.tree):
+            yield from self._check_codec(src, cls)
+
+    def _check_codec(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> "Iterator[Finding]":
+        fields, declaration = _declared_state_fields(cls)
+        if declaration is None:
+            yield Finding(
+                src.relpath,
+                cls.lineno,
+                cls.col_offset,
+                self.rule_id,
+                f"codec {cls.name!r} is registered but declares no "
+                "state_fields; without the declaration the codec's "
+                "coverage cannot be verified",
+            )
+        elif fields is None or not fields:
+            yield Finding(
+                src.relpath,
+                declaration.lineno,
+                declaration.col_offset,
+                self.rule_id,
+                f"codec {cls.name!r} must declare state_fields as a "
+                "non-empty tuple of string literals naming every "
+                "attribute it round-trips",
+            )
+            fields = None
+
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        missing = [m for m in _REQUIRED_METHODS if m not in methods]
+        if missing:
+            yield Finding(
+                src.relpath,
+                cls.lineno,
+                cls.col_offset,
+                self.rule_id,
+                f"codec {cls.name!r} is registered but does not define "
+                f"{'/'.join(missing)}; the StateCodec contract requires "
+                "capture(obj) and restore(obj, meta, arrays)",
+            )
+        if not fields:
+            return
+        for method_name in _REQUIRED_METHODS:
+            method = methods.get(method_name)
+            if method is None:
+                continue
+            mentioned = _mentioned_names(method.body)
+            for field in fields:
+                if field not in mentioned:
+                    yield Finding(
+                        src.relpath,
+                        method.lineno,
+                        method.col_offset,
+                        self.rule_id,
+                        f"codec {cls.name!r} declares state field "
+                        f"{field!r} but {method_name} never touches it — "
+                        "a field handled on only one side of the "
+                        "round-trip is a silent resume divergence",
+                    )

@@ -30,7 +30,12 @@ Layers (lowest first):
   serving every deployment through a metered
   :class:`~repro.serving.PredictionService`
   (``ScenarioConfig(query_budget=..., batch_size=..., cache=...)``) so
-  each :class:`ScenarioReport` states its ``queries_used``.
+  each :class:`ScenarioReport` states its ``queries_used``;
+- :mod:`repro.api.resume` — :func:`run_scenario_resumable`, the
+  suspend/resume wrapper: snapshots the serving accumulation and GRNA's
+  training loop into a run directory so a killed scenario finishes
+  bit-identically on the next call (``repro-ckpt resume`` on the
+  command line).
 
 Invalid combinations (ESA on a tree, verification on an NN, ...) raise
 :class:`~repro.exceptions.IncompatibleScenarioError` naming the violated
@@ -60,6 +65,7 @@ from repro.api.scenario import (
     build_scenario,
     run_scenario,
 )
+from repro.api.resume import run_scenario_resumable
 from repro.serving import PredictionService, QueryBudgetExceededError, QueryLedger
 from repro.federation import (
     CommBudgetExceededError,
@@ -93,6 +99,7 @@ __all__ = [
     "VFLScenario",
     "build_scenario",
     "run_scenario",
+    "run_scenario_resumable",
     "PredictionService",
     "QueryBudgetExceededError",
     "QueryLedger",

@@ -1,102 +1,15 @@
-"""Generic string-keyed registry backing the scenario API.
+"""Facade re-export of the generic registry.
 
-Every pluggable component family (attacks, defenses, models, datasets)
-gets one :class:`Registry` instance. Keys are short strings in the
-paper's vocabulary (``"esa"``, ``"rounding"``, ``"lr"``, ``"bank"``);
-unknown keys fail with a :class:`~repro.exceptions.ScenarioError` that
-enumerates the valid choices, so a typo never surfaces as a bare
-``KeyError`` three layers deep.
+The :class:`Registry` class itself lives in
+:mod:`repro.utils.registry` — the bottom of the layer DAG — so that
+low-level subsystems (checkpoint codecs, lint rules) can host
+registries without importing upward. This module keeps the historical
+import path ``from repro.api.registry import Registry`` working for the
+facade's public surface and every existing call site.
 """
 
 from __future__ import annotations
 
-import functools
-from typing import Any, Callable, Iterator
+from repro.utils.registry import Registry
 
-from repro.exceptions import ScenarioError
-
-
-class Registry:
-    """An ordered mapping from string keys to component factories/specs.
-
-    Parameters
-    ----------
-    kind:
-        Human-readable component family name (``"attack"``, ``"model"``,
-        ...) used in error messages.
-    """
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._entries: dict[str, Any] = {}
-
-    def register(self, key: str, value: Any = None, *, replace: bool = False):
-        """Add ``value`` under ``key``; usable as a decorator.
-
-        Duplicate keys are rejected unless ``replace=True`` — silently
-        shadowing a registered component is how grids go subtly wrong.
-        """
-        if value is None:
-            def decorator(obj: Any) -> Any:
-                self.register(key, obj, replace=replace)
-                return obj
-
-            return decorator
-        if not replace and key in self._entries:
-            raise ScenarioError(
-                f"{self.kind} {key!r} is already registered; pass replace=True "
-                "to override"
-            )
-        self._entries[key] = value
-        return value
-
-    def get(self, key: str) -> Any:
-        """Resolve ``key``, raising a choices-listing error when unknown."""
-        try:
-            return self._entries[key]
-        except KeyError:
-            raise ScenarioError(
-                f"unknown {self.kind} {key!r}; choose from {self.names()}"
-            ) from None
-
-    def create(self, key: str, *args: Any, **kwargs: Any) -> Any:
-        """Resolve ``key`` and call the registered factory with the arguments."""
-        factory: Callable[..., Any] = self.get(key)
-        return factory(*args, **kwargs)
-
-    def names(self) -> list[str]:
-        """Registered keys, in registration order."""
-        return list(self._entries)
-
-    def describe(self) -> dict[str, str]:
-        """One-line description per key, in registration order.
-
-        Sourced from the entry's ``description`` attribute (dataset
-        specs), else the first docstring line of the entry (classes,
-        builder functions) or of the callable a ``functools.partial``
-        wraps. Entries with neither get an empty string — the CLI's
-        ``list`` subcommand prints them all.
-        """
-        described: dict[str, str] = {}
-        for key, entry in self._entries.items():
-            text = getattr(entry, "description", None)
-            if not isinstance(text, str):
-                # A partial's own __doc__ is functools boilerplate; read
-                # the wrapped callable instead.
-                target = entry.func if isinstance(entry, functools.partial) else entry
-                doc = getattr(target, "__doc__", None)
-                text = doc.strip().splitlines()[0] if doc else ""
-            described[key] = text
-        return described
-
-    def __contains__(self, key: object) -> bool:
-        return key in self._entries
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._entries)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return f"Registry({self.kind!r}, {self.names()})"
+__all__ = ["Registry"]

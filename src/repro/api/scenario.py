@@ -43,6 +43,7 @@ from repro.api.datasets import DATASETS
 from repro.api.defenses import Defense, DefenseStack, unwrap_model
 from repro.api.models import MODELS, make_model
 from repro.attacks import AttackResult, RandomGuessAttack, random_path
+from repro.checkpoint import CheckpointPlan
 from repro.config import ScaleConfig, get_scale
 from repro.datasets import Dataset, load_dataset
 from repro.exceptions import IncompatibleScenarioError, ScenarioError
@@ -161,6 +162,7 @@ def build_scenario(
     topology: TopologyConfig | None = None,
     comm_budget: "int | float | None" = None,
     scheduler: str = "sequential",
+    checkpoint: "CheckpointPlan | None" = None,
 ) -> VFLScenario:
     """Construct one complete attack scenario.
 
@@ -225,6 +227,15 @@ def build_scenario(
     scheduler:
         Federation round scheduler (``"sequential"``/``"threaded"``);
         both are bit-identical, threading overlaps party work.
+    checkpoint:
+        A :class:`~repro.checkpoint.CheckpointPlan` for the
+        accumulation: each served protocol round ends with a snapshot
+        (accumulated rows, query ledger, response caches, comm ledger),
+        and a rebuilt scenario resumes the accumulation from the plan's
+        latest snapshot bit-identically. Forwarded to
+        :meth:`~repro.serving.PredictionService.query`; incompatible
+        with a non-empty ``defense_stack`` (per-defense tallies are not
+        snapshotted).
     """
     n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
     streams = spawn_rngs(seed, n_streams)
@@ -329,7 +340,7 @@ def build_scenario(
         exhaustion=on_budget_exhausted,
     )
     try:
-        V = service.query(picked, consumer=consumer)
+        V = service.query(picked, consumer=consumer, checkpoint=checkpoint)
     finally:
         # Release any threaded-scheduler workers now that the bulk
         # accumulation is done; a later query through the retained
@@ -782,7 +793,10 @@ def _compute_metrics(
 
 
 def run_scenario(
-    config: ScenarioConfig, *, scenario: VFLScenario | None = None
+    config: ScenarioConfig,
+    *,
+    scenario: VFLScenario | None = None,
+    serving_checkpoint: "CheckpointPlan | None" = None,
 ) -> ScenarioReport:
     """Run one grid cell end to end and score it.
 
@@ -805,6 +819,13 @@ def run_scenario(
         that sets any (``query_budget``/``batch_size``/``cache``/
         ``on_budget_exhausted``) alongside a prebuilt scenario is
         rejected rather than silently unmetered.
+    serving_checkpoint:
+        A :class:`~repro.checkpoint.CheckpointPlan` for the serving
+        accumulation, forwarded to :func:`build_scenario`; the attack's
+        own training checkpoint (GRNA) travels in
+        ``config.attack_params["checkpoint"]`` instead. Meaningless with
+        a prebuilt ``scenario`` (whose accumulation already happened)
+        and rejected in that combination.
     """
     scale = get_scale(config.scale)
     DATASETS.get(config.dataset)
@@ -812,6 +833,11 @@ def run_scenario(
     attack: ScenarioAttack = ATTACKS.create(config.attack, **config.attack_params)
     stack = DefenseStack.from_specs(config.defenses)
     _validate(config, attack, stack)
+    if scenario is not None and serving_checkpoint is not None:
+        raise ScenarioError(
+            "serving_checkpoint snapshots the accumulation while the "
+            "scenario is built; a prebuilt scenario has already accumulated"
+        )
     if scenario is not None and (
         config.query_budget is not None
         or config.batch_size is not None
@@ -849,6 +875,7 @@ def run_scenario(
             topology=config.topology,
             comm_budget=config.comm_budget,
             scheduler=config.scheduler,
+            checkpoint=serving_checkpoint,
         )
     attack.prepare(scenario, scale=scale, seed=config.seed)
     result = attack.run(scenario.X_adv, scenario.V)

@@ -28,6 +28,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import AttackResult, FeatureInferenceAttack
+from repro.checkpoint import (
+    CheckpointPlan,
+    capture_state,
+    content_fingerprint,
+    raw_fragment,
+    restore_state,
+)
 from repro.exceptions import AttackError, ValidationError
 from repro.federated.partition import AdversaryView
 from repro.models.base import BaseClassifier, DifferentiableClassifier
@@ -81,6 +88,15 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
     clip_to_unit:
         Clip reconstructions into [0, 1] — justified by the same range
         knowledge; only relevant for the linear output head.
+    checkpoint:
+        Optional :class:`~repro.checkpoint.CheckpointPlan`. When given,
+        the epoch loop emits a snapshot (generator or direct-estimate
+        parameters, optimizer moments, rng stream position, loss
+        history) at the plan's cadence, and ``fit`` resumes from the
+        latest matching snapshot instead of epoch 0. A resumed fit is
+        bit-identical to an uninterrupted one — every post-restore draw
+        comes from the restored rng position, including the fresh noise
+        draw :meth:`reconstruct` makes after training.
     """
 
     def __init__(
@@ -101,6 +117,7 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         output_activation: str = "sigmoid",
         clip_to_unit: bool = True,
         rng: np.random.Generator | int = 0,
+        checkpoint: CheckpointPlan | None = None,
     ) -> None:
         if not isinstance(model, DifferentiableClassifier):
             raise AttackError(
@@ -138,6 +155,7 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
             )
         self.output_activation = output_activation
         self.clip_to_unit = bool(clip_to_unit)
+        self.checkpoint = checkpoint
         self.rng = check_random_state(rng)
         self.generator_ = None
         self._direct_estimate: Parameter | None = None
@@ -294,6 +312,79 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
             loss = loss + excess.mean() * self.variance_penalty
         return loss
 
+    def _fit_fingerprint(self, X_adv: np.ndarray, V: np.ndarray) -> str:
+        """Bind snapshots to the exact training problem being resumed."""
+        return content_fingerprint(
+            {
+                "attack": "grna",
+                "model": {
+                    "class": type(self.model).__name__,
+                    "n_features": self.model.n_features_,
+                    "n_classes": self.model.n_classes_,
+                },
+                "hidden_sizes": list(self.hidden_sizes),
+                "epochs": self.epochs,
+                "batch_size": self.batch_size,
+                "lr": self.lr,
+                "optimizer": self.optimizer_name,
+                "variance_penalty": self.variance_penalty,
+                "variance_threshold": self.variance_threshold,
+                "use_adv_input": self.use_adv_input,
+                "use_noise": self.use_noise,
+                "use_generator": self.use_generator,
+                "output_activation": self.output_activation,
+                "X_adv": X_adv,
+                "V": V,
+            }
+        )
+
+    def _fit_fragments(self, optimizer) -> dict:
+        """Everything the epoch loop needs to continue bit-identically."""
+        fragments = {
+            "rng": capture_state(self.rng),
+            "optimizer": capture_state(optimizer),
+            "progress": raw_fragment(meta={"loss_history": list(self.loss_history_)}),
+        }
+        if self.use_generator:
+            fragments["generator"] = raw_fragment(
+                arrays=self.generator_.state_dict()
+            )
+        else:
+            fragments["estimate"] = raw_fragment(
+                arrays={"estimate": self._direct_estimate.data.copy()}
+            )
+        return fragments
+
+    def _resume_epoch(self, optimizer, X_adv: np.ndarray, V: np.ndarray) -> int:
+        """Restore the latest matching snapshot; return the start epoch.
+
+        Called after the fresh-run construction already consumed its rng
+        init draws, so a miss (empty store) leaves the fresh trajectory
+        untouched and a hit overwrites every piece of trajectory state —
+        parameters, optimizer moments, rng position, loss history.
+        """
+        plan = self.checkpoint
+        if plan is None:
+            return 0
+        plan.bind_fingerprint(self._fit_fingerprint(X_adv, V))
+        snapshot = plan.latest()
+        if snapshot is None:
+            return 0
+        if self.use_generator:
+            self.generator_.load_state_dict(
+                dict(snapshot.fragment("generator")["arrays"])
+            )
+        else:
+            self._direct_estimate.data[...] = snapshot.fragment("estimate")[
+                "arrays"
+            ]["estimate"]
+        restore_state(optimizer, snapshot.fragment("optimizer"))
+        snapshot.restore("rng", self.rng)
+        self.loss_history_ = [
+            float(x) for x in snapshot.fragment("progress")["meta"]["loss_history"]
+        ]
+        return int(snapshot.meta["epoch"]) + 1
+
     def _fit_generator(self, X_adv: np.ndarray, V: np.ndarray) -> None:
         self.generator_ = self._build_generator()
         optimizer = make_optimizer(
@@ -304,7 +395,8 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         self._input_buffer = np.empty(
             (min(self.batch_size, n), self._generator_input_width())
         )
-        for _ in range(self.epochs):
+        start_epoch = self._resume_epoch(optimizer, X_adv, V)
+        for epoch in range(start_epoch, self.epochs):
             epoch_loss, n_batches = 0.0, 0
             for idx in batch_indices(n, self.batch_size, rng=self.rng):
                 optimizer.zero_grad()
@@ -316,6 +408,12 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
                 epoch_loss += loss.item()
                 n_batches += 1
             self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            if self.checkpoint is not None:
+                self.checkpoint.maybe_emit(
+                    epoch,
+                    lambda: self._fit_fragments(optimizer),
+                    meta={"epoch": epoch},
+                )
 
     def _fit_direct(self, X_adv: np.ndarray, V: np.ndarray) -> None:
         """Table III case 4: optimize x̂_target directly, no generator."""
@@ -327,7 +425,8 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
             self.optimizer_name, [self._direct_estimate], self.lr
         )
         self.loss_history_ = []
-        for _ in range(self.epochs):
+        start_epoch = self._resume_epoch(optimizer, X_adv, V)
+        for epoch in range(start_epoch, self.epochs):
             epoch_loss, n_batches = 0.0, 0
             for idx in batch_indices(n, self.batch_size, rng=self.rng):
                 optimizer.zero_grad()
@@ -338,6 +437,12 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
                 epoch_loss += loss.item()
                 n_batches += 1
             self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            if self.checkpoint is not None:
+                self.checkpoint.maybe_emit(
+                    epoch,
+                    lambda: self._fit_fragments(optimizer),
+                    meta={"epoch": epoch},
+                )
 
     # ------------------------------------------------------------------
     # Inference

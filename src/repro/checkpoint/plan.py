@@ -1,0 +1,105 @@
+"""Checkpoint plans: the one knob long-running loops accept.
+
+A :class:`CheckpointPlan` bundles *where* snapshots go (a
+:class:`~repro.checkpoint.SnapshotStore`), *how often* they are emitted
+(``every`` steps), *how many* to retain (``keep``) and — for tests and
+deliberate suspension — *when to stop* (``halt_after``). Loops that
+support suspend/resume take ``checkpoint: CheckpointPlan | None = None``
+and make exactly two calls: :meth:`latest` before the loop to find
+state to resume from, and :meth:`maybe_emit` at each step boundary.
+
+Suspension is first-class control flow: after emitting the
+``halt_after`` snapshot, :meth:`maybe_emit` raises
+:class:`~repro.exceptions.CheckpointPause` so the loop unwinds through
+its normal cleanup with the snapshot already durable. A SIGKILL'd run
+resumes the same way — from whatever snapshot last hit the disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+from repro.checkpoint.snapshot import Snapshot
+from repro.checkpoint.store import SnapshotStore
+from repro.exceptions import CheckpointPause, ValidationError
+
+Fragments = dict[str, dict[str, Any]]
+
+
+class CheckpointPlan:
+    """Emission policy + store + fingerprint binding for one loop."""
+
+    def __init__(
+        self,
+        store: SnapshotStore | str | os.PathLike[str],
+        *,
+        every: int = 1,
+        keep: int | None = None,
+        halt_after: int | None = None,
+        fingerprint: str | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValidationError(f"checkpoint every must be >= 1, got {every}")
+        if keep is not None and keep < 1:
+            raise ValidationError(f"checkpoint keep must be >= 1, got {keep}")
+        if halt_after is not None and halt_after < 1:
+            raise ValidationError(
+                f"checkpoint halt_after must be >= 1, got {halt_after}"
+            )
+        self.store = store if isinstance(store, SnapshotStore) else SnapshotStore(store)
+        self.every = every
+        self.keep = keep
+        self.halt_after = halt_after
+        self.fingerprint = fingerprint
+
+    def bind_fingerprint(self, fingerprint: str) -> str:
+        """Adopt the loop-computed fingerprint unless one was pinned.
+
+        A fingerprint set at construction is authoritative (the resume
+        driver binds plans to a validated run configuration); otherwise
+        the loop's own content fingerprint becomes the binding.
+        """
+        if self.fingerprint is None:
+            self.fingerprint = fingerprint
+        return self.fingerprint
+
+    def latest(self) -> Snapshot | None:
+        """The newest snapshot matching the bound fingerprint, if any."""
+        return self.store.load_latest(expect_fingerprint=self.fingerprint)
+
+    def maybe_emit(
+        self,
+        step: int,
+        build_fragments: Callable[[], Fragments] | Fragments,
+        *,
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
+        """Emit a snapshot for ``step`` when the policy says it is due.
+
+        ``build_fragments`` may be the fragments dict itself or a
+        zero-argument callable producing it — the callable form lets
+        loops skip capture work entirely on non-emitting steps. After a
+        due ``halt_after`` step the snapshot is written, old snapshots
+        pruned, and :class:`~repro.exceptions.CheckpointPause` raised.
+        Returns whether a snapshot was written.
+        """
+        boundary = step + 1  # snapshots record *completed* steps
+        halting = self.halt_after is not None and boundary >= self.halt_after
+        due = boundary % self.every == 0 or halting
+        if due:
+            fragments = build_fragments() if callable(build_fragments) else build_fragments
+            self.store.save(
+                step,
+                fragments,
+                fingerprint=self.fingerprint or "",
+                meta=meta,
+            )
+            if self.keep is not None:
+                self.store.prune(self.keep)
+        if halting:
+            raise CheckpointPause(
+                f"run suspended after step {step}; snapshot written to "
+                f"{self.store.path_for(step)}"
+            )
+        return due

@@ -1,0 +1,127 @@
+"""Snapshot directories: ordered steps, pruning, latest-wins resume.
+
+A :class:`SnapshotStore` owns one directory of snapshot archives named
+``step-<NNNNNNNN>.ckpt.npz``. Because every write lands via
+write-then-rename, the files present are always complete snapshots;
+``load_latest`` therefore treats a corrupt or stale newest file as a
+real error rather than silently falling back to an older one — the
+caller decides whether to prune and retry.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.checkpoint.snapshot import (
+    Snapshot,
+    read_manifest,
+    read_snapshot,
+    write_snapshot,
+)
+
+_STEP_PATTERN = re.compile(r"^step-(\d{8})\.ckpt\.npz$")
+SNAPSHOT_SUFFIX = ".ckpt.npz"
+
+
+class SnapshotStore:
+    """A directory of ordered snapshots for one resumable run."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, step: int) -> Path:
+        """The canonical snapshot filename for ``step``."""
+        return self.root / f"step-{step:08d}{SNAPSHOT_SUFFIX}"
+
+    def steps(self) -> list[int]:
+        """Steps with a snapshot on disk, ascending."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            match = _STEP_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return found
+
+    def save(
+        self,
+        step: int,
+        fragments: dict[str, dict[str, Any]],
+        *,
+        fingerprint: str,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        """Write the snapshot for ``step``, creating the directory."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        return write_snapshot(
+            self.path_for(step),
+            step=step,
+            fragments=fragments,
+            fingerprint=fingerprint,
+            meta=meta,
+        )
+
+    def load(self, step: int, *, expect_fingerprint: str | None = None) -> Snapshot:
+        """Read and verify the snapshot for ``step``."""
+        return read_snapshot(self.path_for(step), expect_fingerprint=expect_fingerprint)
+
+    def load_latest(self, *, expect_fingerprint: str | None = None) -> Snapshot | None:
+        """Read the newest snapshot, or ``None`` when the store is empty.
+
+        Corruption or staleness of the newest snapshot raises — the
+        atomic write protocol means a bad final file is damage, not an
+        interrupted write, and quietly resuming from an older step
+        would redo work the caller believes done.
+        """
+        steps = self.steps()
+        if not steps:
+            return None
+        return self.load(steps[-1], expect_fingerprint=expect_fingerprint)
+
+    def prune(self, keep: int) -> list[Path]:
+        """Delete all but the newest ``keep`` snapshots; return removals."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        removed = []
+        for step in self.steps()[:-keep]:
+            path = self.path_for(step)
+            path.unlink()
+            removed.append(path)
+        return removed
+
+    def inspect(self) -> list[dict[str, Any]]:
+        """Manifest summaries for every snapshot, ascending by step.
+
+        Reads manifests only (arrays stay on disk), so inspection is
+        cheap even for large snapshots. Corrupt files are reported
+        in-band with an ``"error"`` entry instead of aborting the
+        listing — inspection is exactly the tool you reach for when a
+        store is damaged.
+        """
+        from repro.exceptions import CheckpointError
+
+        reports = []
+        for step in self.steps():
+            path = self.path_for(step)
+            try:
+                manifest = read_manifest(path)
+            except CheckpointError as exc:
+                reports.append({"step": step, "path": str(path), "error": str(exc)})
+                continue
+            reports.append(
+                {
+                    "step": step,
+                    "path": str(path),
+                    "fingerprint": manifest["fingerprint"],
+                    "meta": manifest["meta"],
+                    "fragments": {
+                        entry["name"]: entry["kind"]
+                        for entry in manifest["fragments"]
+                    },
+                }
+            )
+        return reports

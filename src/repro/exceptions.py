@@ -87,6 +87,32 @@ class PartyUnavailableError(ProtocolError):
     """
 
 
+class CheckpointError(ReproError, RuntimeError):
+    """A snapshot could not be written, read, or trusted.
+
+    Raised by the :mod:`repro.checkpoint` subsystem when a snapshot file
+    is corrupt (truncated archive, digest mismatch, unknown format
+    version) or stale (its content fingerprint does not match the run
+    configuration asking to resume from it). Refusal is deliberate:
+    resuming from the wrong snapshot would silently violate the
+    resumed-equals-fresh bit-identity contract, so the subsystem fails
+    loudly instead.
+    """
+
+
+class CheckpointPause(ReproError):
+    """A run suspended itself at a checkpoint boundary, as requested.
+
+    Raised (not returned) by :class:`~repro.checkpoint.CheckpointPlan`
+    after emitting the snapshot for its ``halt_after`` step, so arbitrary
+    loop code unwinds through its normal cleanup (``finally`` blocks,
+    context managers) with the snapshot already durable on disk. This is
+    control flow, not failure — callers that schedule a deliberate
+    suspension catch it and treat the run as suspended, resumable from
+    the snapshot just written.
+    """
+
+
 class DatasetError(ValidationError):
     """A dataset specification or generated dataset is invalid."""
 

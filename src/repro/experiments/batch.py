@@ -80,6 +80,15 @@ def run_batch(
         overwrite the stored ones).
     on_progress:
         Optional callback receiving human-readable progress lines.
+
+    Experiments that declare ``shard_unit``/``merge_shards`` (see
+    :class:`~repro.experiments.spec.ExperimentSpec`) are cached at
+    *shard* granularity: a unit missing from the store is expanded into
+    its shards, every already-stored shard is served from cache, only
+    the missing shards execute, and the merged unit payload is persisted
+    alongside the shards. The progress line reports the shard-level
+    hit/miss split, so an interrupted-and-resumed batch shows exactly
+    which work was redone (none, when every shard landed).
     """
     if jobs < 1:
         raise ValidationError(f"jobs must be >= 1, got {jobs}")
@@ -89,32 +98,58 @@ def run_batch(
     scale = get_scale(scale)
     units = ensure_unique_unit_ids(experiment.trial_units(scale))
 
-    results: dict[str, dict] = {}
-    pending: list[tuple[TrialSpec, str]] = []
-    for unit in units:
-        digest = config_hash(scale, unit)
-        cached = (
-            store.get(experiment_id, scale.name, unit.unit_id, digest)
-            if store is not None and not force
-            else None
-        )
-        if cached is not None and cached.seed != unit.seed:
+    def lookup(spec: TrialSpec, digest: str) -> "dict | None":
+        if store is None or force:
+            return None
+        cached = store.get(experiment_id, scale.name, spec.unit_id, digest)
+        if cached is not None and cached.seed != spec.seed:
             # The unit id and config hash survive a seed-schedule change;
             # the recorded seed does not. Stale → recompute.
-            cached = None
-        if cached is not None:
-            results[unit.unit_id] = cached.payload
-        else:
+            return None
+        return None if cached is None else cached.payload
+
+    results: dict[str, dict] = {}
+    pending: list[tuple[TrialSpec, str]] = []
+    # Units whose payload must be merged from shards after execution.
+    to_merge: list[tuple[TrialSpec, str, list[TrialSpec]]] = []
+    shard_hits = shard_misses = unit_hits = 0
+    for unit in units:
+        digest = config_hash(scale, unit)
+        payload = lookup(unit, digest)
+        if payload is not None:
+            results[unit.unit_id] = payload
+            unit_hits += 1
+        elif experiment.shard_unit is None:
             pending.append((unit, digest))
+        else:
+            shards = ensure_unique_unit_ids(experiment.shard_unit(unit, scale))
+            to_merge.append((unit, digest, shards))
+            for shard in shards:
+                shard_digest = config_hash(scale, shard)
+                shard_payload = lookup(shard, shard_digest)
+                if shard_payload is not None:
+                    results[shard.unit_id] = shard_payload
+                    shard_hits += 1
+                else:
+                    pending.append((shard, shard_digest))
+                    shard_misses += 1
     if on_progress is not None:
-        on_progress(
+        line = (
             f"{experiment_id}: {len(units)} unit(s), "
-            f"{len(units) - len(pending)} cached, {len(pending)} to run "
-            f"(jobs={jobs})"
+            f"{unit_hits} cached, {len(pending)} to run (jobs={jobs})"
         )
+        if to_merge:
+            line += (
+                f"; shards: {shard_hits + shard_misses} expanded, "
+                f"{shard_hits} cached, {shard_misses} to run"
+            )
+        on_progress(line)
+
+    elapsed_by_id: dict[str, float] = {}
 
     def record(unit: TrialSpec, digest: str, payload: dict, elapsed: float) -> None:
         results[unit.unit_id] = payload
+        elapsed_by_id[unit.unit_id] = elapsed
         if store is not None:
             store.put(
                 RunSummary(
@@ -142,6 +177,15 @@ def run_batch(
                 unit, digest = futures[future]
                 payload, elapsed = future.result()
                 record(unit, digest, payload, elapsed)
+
+    for unit, digest, shards in to_merge:
+        merged = experiment.merge_shards(unit, shards, results)
+        record(
+            unit,
+            digest,
+            merged,
+            sum(elapsed_by_id.get(shard.unit_id, 0.0) for shard in shards),
+        )
 
     return experiment.aggregate(scale, units, results)
 

@@ -1,0 +1,145 @@
+"""``repro-ckpt``: inspect, prune, and resume checkpoint stores.
+
+Three subcommands over the on-disk snapshot layout of
+:mod:`repro.checkpoint` and :mod:`repro.api.resume`:
+
+``repro-ckpt inspect <dir>``
+    Manifest summary of every snapshot in a
+    :class:`~repro.checkpoint.SnapshotStore` directory (step,
+    fingerprint, meta, fragment kinds), as JSON. Corrupt files are
+    reported in-band, never raised — inspection is forensic.
+
+``repro-ckpt prune <dir> --keep N``
+    Drop all but the newest ``N`` snapshots.
+
+``repro-ckpt resume <dir>``
+    Finish the scenario run pinned in ``<dir>/scenario.json`` (see
+    :func:`~repro.api.resume.run_scenario_resumable`): fresh directories
+    start from scratch, interrupted ones continue from the latest
+    snapshots, and either way the final report is bit-identical to an
+    uninterrupted run. Prints the report summary and writes
+    ``report.json``.
+
+A scenario directory is created by a first
+:func:`~repro.api.resume.run_scenario_resumable` call — or by writing
+``scenario.json`` by hand (the :meth:`~repro.api.ScenarioReport.to_payload`
+``config`` encoding), which is how the CI kill-and-resume smoke seeds its
+victim run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.api.resume import SCENARIO_FILE, config_from_payload, run_scenario_resumable
+from repro.checkpoint import SnapshotStore
+from repro.exceptions import CheckpointPause, ReproError
+
+__all__ = ["main"]
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    entries = SnapshotStore(args.store).inspect()
+    print(json.dumps(entries, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    removed = SnapshotStore(args.store).prune(args.keep)
+    for path in removed:
+        print(f"removed {path}")
+    print(f"pruned {len(removed)} snapshot(s), kept newest {args.keep}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store_dir = Path(args.store)
+    manifest = store_dir / SCENARIO_FILE
+    if not manifest.exists():
+        print(
+            f"error: {manifest} not found — a resumable run directory is "
+            "created by run_scenario_resumable (or seed one by writing "
+            "scenario.json)",
+            file=sys.stderr,
+        )
+        return 2
+    config = config_from_payload(json.loads(manifest.read_text(encoding="utf-8")))
+    report = run_scenario_resumable(
+        config,
+        store_dir=store_dir,
+        every=args.every,
+        keep=args.keep,
+        halt_after=args.halt_after,
+    )
+    print(report.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-ckpt`` argument parser (exposed for ``--help`` tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ckpt",
+        description="Inspect, prune, and resume repro checkpoint stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize every snapshot in a store directory"
+    )
+    inspect.add_argument("store", help="snapshot store directory")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    prune = sub.add_parser("prune", help="drop all but the newest N snapshots")
+    prune.add_argument("store", help="snapshot store directory")
+    prune.add_argument(
+        "--keep", type=int, default=3, help="snapshots to retain (default 3)"
+    )
+    prune.set_defaults(func=_cmd_prune)
+
+    resume = sub.add_parser(
+        "resume", help="finish the scenario run pinned in <dir>/scenario.json"
+    )
+    resume.add_argument("store", help="resumable run directory")
+    resume.add_argument(
+        "--every", type=int, default=1, help="snapshot cadence (default 1)"
+    )
+    resume.add_argument(
+        "--keep", type=int, default=3, help="snapshots to retain (default 3)"
+    )
+    resume.add_argument(
+        "--halt-after",
+        type=int,
+        default=None,
+        help="deliberately suspend GRNA training after N epochs (testing)",
+    )
+    resume.set_defaults(func=_cmd_resume)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CheckpointPause as exc:
+        # Deliberate suspension (--halt-after): distinct exit code so a
+        # harness can tell "suspended, resume me" from a real failure.
+        print(f"suspended: {exc}", file=sys.stderr)
+        return 3
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (inspect output piped to head/less). Point
+        # stdout at devnull so interpreter shutdown doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

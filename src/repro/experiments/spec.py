@@ -80,12 +80,35 @@ class TrialSpec:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """The decomposed form of one experiment (units / run / aggregate)."""
+    """The decomposed form of one experiment (units / run / aggregate).
+
+    ``shard_unit`` / ``merge_shards`` (optional, declared together)
+    split one trial unit into finer independently runnable — and
+    independently *cacheable* — sub-units: ``shard_unit(unit, scale)``
+    returns the ordered shard specs (ids conventionally
+    ``f"{unit.unit_id}@{part}"``) and ``merge_shards(unit, shards,
+    results)`` folds their payloads back into the unit payload the
+    aggregate step expects. An interrupted batch then resumes at shard
+    granularity: finished shards are served from the results store and
+    only unfinished ones are redone.
+    """
 
     experiment_id: str
     trial_units: Callable[[ScaleConfig], list[TrialSpec]]
     run_unit: Callable[[TrialSpec, ScaleConfig], dict]
     aggregate: Callable[[ScaleConfig, list[TrialSpec], dict[str, dict]], ExperimentResult]
+    shard_unit: "Callable[[TrialSpec, ScaleConfig], list[TrialSpec]] | None" = None
+    merge_shards: (
+        "Callable[[TrialSpec, list[TrialSpec], dict[str, dict]], dict] | None"
+    ) = None
+
+    def __post_init__(self) -> None:
+        if (self.shard_unit is None) != (self.merge_shards is None):
+            raise ValidationError(
+                f"experiment {self.experiment_id!r} declares only one of "
+                "shard_unit/merge_shards; sharding needs both the split "
+                "and the fold"
+            )
 
 
 #: Registry of decomposed experiments, keyed by paper id.

@@ -9,6 +9,14 @@ runs resumable and repeated runs near-instant. Appending is the only
 write operation — the latest record for a key wins — so a crashed run
 never corrupts earlier results.
 
+Crash safety is explicit: every :meth:`ResultsStore.put` is flushed and
+fsynced before returning (a record the runner believes persisted *is*
+persisted, even through a SIGKILL), and :meth:`ResultsStore._load`
+tolerates the one artifact a kill can still leave — a truncated trailing
+line. The partial line is quarantined to ``<experiment>.jsonl.partial``
+and the store file atomically rewritten without it, so every completed
+record survives and the interrupted unit simply reruns.
+
 Usage::
 
     store = ResultsStore("/tmp/results")
@@ -19,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -97,24 +106,52 @@ class ResultsStore:
         return self.root / f"{experiment_id}.jsonl"
 
     def _load(self, experiment_id: str) -> dict[tuple, RunSummary]:
-        """Read (and memoize) every record of one experiment, last wins."""
+        """Read (and memoize) every record of one experiment, last wins.
+
+        A truncated trailing line — the one artifact a SIGKILL mid-append
+        can leave — is quarantined to ``<experiment>.jsonl.partial`` and
+        the store file atomically rewritten without it; every record
+        before it is recovered. Malformed *interior* lines (hand edits,
+        disk damage) are skipped as before: rewriting history is not this
+        method's job.
+        """
         if experiment_id not in self._cache:
             records: dict[tuple, RunSummary] = {}
             path = self._path(experiment_id)
             if path.exists():
-                for line in path.read_text(encoding="utf-8").splitlines():
-                    line = line.strip()
+                lines = path.read_text(encoding="utf-8").splitlines()
+                for lineno, raw in enumerate(lines):
+                    line = raw.strip()
                     if not line:
                         continue
                     try:
                         summary = RunSummary.from_json(line)
                     except (json.JSONDecodeError, TypeError):
-                        # A killed run can leave a truncated trailing line;
-                        # treat it as a miss so the unit is recomputed.
+                        if lineno == len(lines) - 1:
+                            self._quarantine_partial(path, lines[:lineno], raw)
                         continue
                     records[summary.key] = summary
             self._cache[experiment_id] = records
         return self._cache[experiment_id]
+
+    @staticmethod
+    def _quarantine_partial(path: Path, good_lines: list[str], partial: str) -> None:
+        """Move a truncated trailing line aside and repair the store file.
+
+        The partial line lands in ``<name>.partial`` (evidence, should
+        anyone want it); the store file is rewritten *atomically* — tmp
+        file, flush, fsync, rename — so a second crash mid-repair leaves
+        either the damaged original or the repaired file, never less.
+        """
+        path.with_name(path.name + ".partial").write_text(
+            partial + "\n", encoding="utf-8"
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write("".join(line + "\n" for line in good_lines))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def get(
         self, experiment_id: str, scale: str, unit_id: str, config_hash: str
@@ -125,11 +162,19 @@ class ResultsStore:
         )
 
     def put(self, summary: RunSummary) -> RunSummary:
-        """Append one summary (stamping ``created_at`` if unset)."""
+        """Append one summary (stamping ``created_at`` if unset).
+
+        Flushed and fsynced before returning: once ``put`` hands the
+        summary back, the record is durable through a process kill — the
+        property the checkpointed batch runner leans on when it promises
+        "no shard is ever redone after its summary landed".
+        """
         if not summary.created_at:
             summary = RunSummary(**{**asdict(summary), "created_at": utc_now()})
         with self._path(summary.experiment_id).open("a", encoding="utf-8") as fh:
             fh.write(summary.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         self._load(summary.experiment_id)[summary.key] = summary
         return summary
 

@@ -59,6 +59,9 @@ from repro.federation.scheduler import (
 from repro.federation.topology import TopologyConfig
 from repro.federation.transport import DeliveryRecord, Transport
 
+# Register this layer's checkpoint codec (comm ledger) on import.
+from repro.federation import state as _state  # noqa: F401
+
 __all__ = [
     "Message",
     "WIRE_VERSION",

@@ -20,13 +20,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.checkpoint.codec import CHECKPOINTS, StateCodec, codec_for
+from repro.exceptions import CheckpointError, NotFittedError, ValidationError
 from repro.models.distill import RandomForestDistiller
 from repro.models.forest import RandomForestClassifier
 from repro.models.logistic import LogisticRegression
 from repro.models.mlp import MLPClassifier
 from repro.models.tree import DecisionTreeClassifier, TreeStructure, _Node
 from repro.nn.layers import mlp
+from repro.nn.optim import SGD, Adam, Optimizer
 
 FORMAT_VERSION = 1
 
@@ -206,12 +208,246 @@ _CODECS = {
 }
 
 
-def save_model(model, path: "str | Path") -> Path:
-    """Serialize a fitted model to ``path`` (``.npz`` appended if missing)."""
+# ----------------------------------------------------------------------
+# Checkpoint codecs: live models and optimizers as snapshot fragments
+# ----------------------------------------------------------------------
+# Registered in repro.checkpoint.CHECKPOINTS on models-package import.
+# The model codecs reuse this module's array layouts; the optimizer
+# codecs capture the state that makes a resumed training trajectory
+# bit-identical — Adam's first/second moments and step counter, SGD's
+# momentum velocities. Scratch buffers are deliberately *not* captured:
+# every step fully overwrites them via ``out=``, so freshly constructed
+# buffers reproduce the same bytes.
+
+
+@CHECKPOINTS.register("model/logistic")
+class LogisticRegressionCodec(StateCodec):
+    """Snapshot a fitted :class:`LogisticRegression`."""
+
+    kind = "model/logistic"
+    target = LogisticRegression
+    state_fields = ("coef_", "intercept_")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        obj._check_fitted()
+        meta = {
+            "n_features": obj.n_features_,
+            "n_classes": obj.n_classes_,
+            "binary": obj.n_classes_ == 2,
+        }
+        arrays = {
+            "coef": np.asarray(obj.coef_),
+            "intercept": np.atleast_1d(np.asarray(obj.intercept_, dtype=np.float64)),
+        }
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        obj.coef_ = np.asarray(arrays["coef"], dtype=np.float64)
+        if meta["binary"]:
+            obj.intercept_ = np.float64(arrays["intercept"][0])
+        else:
+            obj.intercept_ = np.asarray(arrays["intercept"], dtype=np.float64)
+        obj.n_features_ = meta["n_features"]
+        obj.n_classes_ = meta["n_classes"]
+
+
+@CHECKPOINTS.register("model/tree")
+class DecisionTreeCodec(StateCodec):
+    """Snapshot a fitted :class:`DecisionTreeClassifier`."""
+
+    kind = "model/tree"
+    target = DecisionTreeClassifier
+    state_fields = ("root_", "n_features_", "n_classes_")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        if obj.root_ is None:
+            raise NotFittedError("decision tree has no fitted structure to checkpoint")
+        meta = {"n_features": obj.n_features_, "n_classes": obj.n_classes_}
+        return meta, _structure_arrays(obj.tree_structure(), "tree_")
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        obj.n_features_ = meta["n_features"]
+        obj.n_classes_ = meta["n_classes"]
+        obj.root_ = _rebuild_node(_structure_from_arrays(arrays, "tree_"), 0, 0)
+
+
+@CHECKPOINTS.register("model/forest")
+class RandomForestCodec(StateCodec):
+    """Snapshot a fitted :class:`RandomForestClassifier`."""
+
+    kind = "model/forest"
+    target = RandomForestClassifier
+    state_fields = ("trees_", "n_features_", "n_classes_")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        if not obj.trees_:
+            raise NotFittedError("random forest has no fitted trees to checkpoint")
+        meta = {
+            "n_features": obj.n_features_,
+            "n_classes": obj.n_classes_,
+            "n_trees": len(obj.trees_),
+            "max_depth": obj.max_depth,
+        }
+        arrays: dict = {}
+        for i, structure in enumerate(obj.tree_structures()):
+            arrays.update(_structure_arrays(structure, f"tree{i}_"))
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        obj.n_features_ = meta["n_features"]
+        obj.n_classes_ = meta["n_classes"]
+        obj.trees_ = []
+        for i in range(meta["n_trees"]):
+            tree = DecisionTreeClassifier(max_depth=meta["max_depth"])
+            tree.n_features_ = meta["n_features"]
+            tree.n_classes_ = meta["n_classes"]
+            tree.root_ = _rebuild_node(
+                _structure_from_arrays(arrays, f"tree{i}_"), 0, 0
+            )
+            obj.trees_.append(tree)
+
+
+@CHECKPOINTS.register("model/mlp")
+class MLPClassifierCodec(StateCodec):
+    """Snapshot a fitted :class:`MLPClassifier`."""
+
+    kind = "model/mlp"
+    target = MLPClassifier
+    state_fields = ("network_", "n_features_", "n_classes_")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        obj._check_fitted()
+        meta = {
+            "n_features": obj.n_features_,
+            "n_classes": obj.n_classes_,
+            "hidden_sizes": list(obj.hidden_sizes),
+            "dropout": obj.dropout,
+        }
+        arrays = {f"param_{k}": v.copy() for k, v in obj.network_.state_dict().items()}
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        obj.n_features_ = meta["n_features"]
+        obj.n_classes_ = meta["n_classes"]
+        sizes = [meta["n_features"], *meta["hidden_sizes"], meta["n_classes"]]
+        obj.network_ = mlp(sizes, activation="relu", dropout=meta["dropout"], rng=0)
+        state = {k[len("param_"):]: v for k, v in arrays.items() if k.startswith("param_")}
+        obj.network_.load_state_dict(state)
+        obj.network_.eval()
+
+
+@CHECKPOINTS.register("model/distiller")
+class RandomForestDistillerCodec(StateCodec):
+    """Snapshot a distilled :class:`RandomForestDistiller` surrogate."""
+
+    kind = "model/distiller"
+    target = RandomForestDistiller
+    state_fields = ("network_", "n_features_", "n_classes_")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        if obj.network_ is None:
+            raise NotFittedError("distiller has no surrogate network to checkpoint")
+        meta = {
+            "n_features": obj.n_features_,
+            "n_classes": obj.n_classes_,
+            "hidden_sizes": list(obj.hidden_sizes),
+        }
+        arrays = {f"param_{k}": v.copy() for k, v in obj.network_.state_dict().items()}
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        obj.n_features_ = meta["n_features"]
+        obj.n_classes_ = meta["n_classes"]
+        sizes = [meta["n_features"], *meta["hidden_sizes"], meta["n_classes"]]
+        obj.network_ = mlp(sizes, activation="relu", rng=0)
+        state = {k[len("param_"):]: v for k, v in arrays.items() if k.startswith("param_")}
+        obj.network_.load_state_dict(state)
+
+
+def _check_param_shapes(optimizer, arrays: dict, names: "list[str]") -> None:
+    """Refuse optimizer state whose shapes do not match the live params."""
+    if len(names) != len(optimizer.params):
+        raise CheckpointError(
+            f"optimizer state holds {len(names)} parameter buffers but the "
+            f"optimizer has {len(optimizer.params)} parameters"
+        )
+    for name, p in zip(names, optimizer.params):
+        if arrays[name].shape != p.data.shape:
+            raise CheckpointError(
+                f"optimizer buffer {name!r} has shape {arrays[name].shape}, "
+                f"parameter expects {p.data.shape}"
+            )
+
+
+@CHECKPOINTS.register("optimizer/sgd")
+class SGDCodec(StateCodec):
+    """Snapshot :class:`SGD` momentum state (velocities)."""
+
+    kind = "optimizer/sgd"
+    target = SGD
+    state_fields = ("_velocity",)
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        meta = {"n_params": len(obj._velocity)}
+        arrays = {f"velocity_{i}": v.copy() for i, v in enumerate(obj._velocity)}
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        names = [f"velocity_{i}" for i in range(meta["n_params"])]
+        _check_param_shapes(obj, arrays, names)
+        obj._velocity = [np.ascontiguousarray(arrays[name]) for name in names]
+
+
+@CHECKPOINTS.register("optimizer/adam")
+class AdamCodec(StateCodec):
+    """Snapshot :class:`Adam` moments and step counter."""
+
+    kind = "optimizer/adam"
+    target = Adam
+    state_fields = ("_m", "_v", "_t")
+
+    def capture(self, obj) -> tuple[dict, dict]:
+        meta = {"t": obj._t, "n_params": len(obj._m)}
+        arrays: dict = {}
+        for i, (m, v) in enumerate(zip(obj._m, obj._v)):
+            arrays[f"m_{i}"] = m.copy()
+            arrays[f"v_{i}"] = v.copy()
+        return meta, arrays
+
+    def restore(self, obj, meta: dict, arrays: dict) -> None:
+        m_names = [f"m_{i}" for i in range(meta["n_params"])]
+        v_names = [f"v_{i}" for i in range(meta["n_params"])]
+        _check_param_shapes(obj, arrays, m_names)
+        _check_param_shapes(obj, arrays, v_names)
+        obj._m = [np.ascontiguousarray(arrays[name]) for name in m_names]
+        obj._v = [np.ascontiguousarray(arrays[name]) for name in v_names]
+        obj._t = int(meta["t"])
+
+
+def save_model(model, path: "str | Path", *, optimizer: "Optimizer | None" = None) -> Path:
+    """Serialize a fitted model to ``path`` (``.npz`` appended if missing).
+
+    With ``optimizer`` given, its resumable state (Adam moments and step
+    counter, SGD velocities) is stored in the same archive under
+    ``opt_``-prefixed arrays plus an ``__optimizer__`` metadata entry,
+    recoverable via :func:`load_optimizer_state` — so a training loop
+    can round-trip model *and* optimizer through one file and continue
+    on a bit-identical trajectory.
+    """
     for kind, (cls, encode, _decode) in _CODECS.items():
         if type(model) is cls:
             meta, arrays = encode(model)
             meta = {"format_version": FORMAT_VERSION, "kind": kind, **meta}
+            if optimizer is not None:
+                opt_codec = codec_for(optimizer)
+                if opt_codec is None:
+                    raise ValidationError(
+                        f"no checkpoint codec for optimizer "
+                        f"{type(optimizer).__name__}"
+                    )
+                opt_meta, opt_arrays = opt_codec.capture(optimizer)
+                meta["__optimizer__"] = {"kind": opt_codec.kind, "meta": opt_meta}
+                arrays.update({f"opt_{k}": v for k, v in opt_arrays.items()})
             path = Path(path)
             if path.suffix != ".npz":
                 path = path.with_suffix(path.suffix + ".npz")
@@ -243,3 +479,36 @@ def load_model(path: "str | Path"):
         raise ValidationError(f"unknown model kind {kind!r} in {path}")
     _cls, _encode, decode = _CODECS[kind]
     return decode(meta, arrays)
+
+
+def load_optimizer_state(path: "str | Path", optimizer: Optimizer) -> Optimizer:
+    """Reinstate optimizer state saved by :func:`save_model` onto ``optimizer``.
+
+    The optimizer must already be constructed over the (restored)
+    model's parameters with the same hyperparameters; this loads only
+    the trajectory state. Raises
+    :class:`~repro.exceptions.CheckpointError` when the archive holds no
+    optimizer state, the optimizer kind differs, or buffer shapes do not
+    match the live parameters.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such model file: {path}")
+    with np.load(path) as archive:
+        if "__meta__" not in archive:
+            raise ValidationError(f"{path} is not a repro model archive")
+        meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        arrays = {k: archive[k] for k in archive.files if k.startswith("opt_")}
+    opt_info = meta.get("__optimizer__")
+    if opt_info is None:
+        raise CheckpointError(f"{path} holds no optimizer state")
+    codec = codec_for(optimizer)
+    if codec is None or codec.kind != opt_info["kind"]:
+        raise CheckpointError(
+            f"{path} holds {opt_info['kind']!r} state but got a "
+            f"{type(optimizer).__name__} optimizer"
+        )
+    codec.restore(
+        optimizer, opt_info["meta"], {k[len("opt_"):]: v for k, v in arrays.items()}
+    )
+    return optimizer

@@ -27,6 +27,9 @@ from repro.serving.cache import ResponseCache
 from repro.serving.ledger import QueryLedger
 from repro.serving.service import PredictionService, QueryContext
 
+# Register this layer's checkpoint codecs (ledger, cache) on import.
+from repro.serving import state as _state  # noqa: F401
+
 __all__ = [
     "PredictionService",
     "QueryContext",

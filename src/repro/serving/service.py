@@ -62,8 +62,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.checkpoint import (
+    CheckpointPlan,
+    capture_state,
+    content_fingerprint,
+    raw_fragment,
+    restore_state,
+)
 from repro.defenses.base import unwrap_model
-from repro.exceptions import CommBudgetExceededError, ProtocolError, ValidationError
+from repro.exceptions import (
+    CheckpointError,
+    CommBudgetExceededError,
+    ProtocolError,
+    ValidationError,
+)
 from repro.federated.model import VerticalFLModel
 from repro.models.base import BaseClassifier
 from repro.serving.cache import ResponseCache
@@ -264,7 +276,11 @@ class PredictionService:
     # The query interface
     # ------------------------------------------------------------------
     def query(
-        self, sample_indices: np.ndarray, *, consumer: str = "anonymous"
+        self,
+        sample_indices: np.ndarray,
+        *,
+        consumer: str = "anonymous",
+        checkpoint: "CheckpointPlan | None" = None,
     ) -> np.ndarray:
         """Confidence scores for the requested samples, ``(N, C)``.
 
@@ -280,10 +296,22 @@ class PredictionService:
         charge refunded — the consumer received nothing), or in
         ``truncate`` mode ends the accumulation at the last affordable
         round.
+
+        With a ``checkpoint`` plan, each served chunk (== one protocol
+        round) ends with a snapshot of the accumulated rows, the query
+        ledger, the response caches, the federation comm ledger (when a
+        runtime is attached) and the defense rng stream — and the call
+        first resumes from the plan's latest matching snapshot, skipping
+        chunks already served. The resumed response is bit-identical to
+        an uninterrupted one. Checkpointing refuses a non-empty defense
+        stack: per-defense tallies are not snapshotted, and silently
+        dropping them would break the contract.
         """
         indices = np.asarray(sample_indices, dtype=np.int64).ravel()
         if indices.size == 0:
             raise ProtocolError("prediction request with no sample ids")
+        if checkpoint is not None:
+            return self._query_checkpointed(indices, consumer, checkpoint)
         blocks: list[np.ndarray] = []
         step = self.max_batch or indices.size
         for start in range(0, indices.size, step):
@@ -302,6 +330,141 @@ class PredictionService:
                 blocks.append(block)
             if exhausted:
                 break
+        if not blocks:
+            return np.empty((0, self.n_classes))
+        return np.vstack(blocks)
+
+    # ------------------------------------------------------------------
+    # Checkpointed accumulation
+    # ------------------------------------------------------------------
+    def _query_fingerprint(self, indices: np.ndarray, consumer: str) -> str:
+        """Bind snapshots to this exact request against this deployment."""
+        return content_fingerprint(
+            {
+                "serving": {
+                    "n_samples": self.n_samples,
+                    "n_classes": self.n_classes,
+                    "max_batch": self.max_batch,
+                    "cache": self.cache_enabled,
+                    "cache_size": self.cache_size,
+                    "cache_scope": self.cache_scope,
+                    "exhaustion": self.exhaustion,
+                    "budget": self.ledger.budget,
+                    "consumer_budgets": dict(self.ledger.consumer_budgets),
+                },
+                "consumer": consumer,
+                "indices": indices,
+            }
+        )
+
+    def serving_fragments(self) -> dict:
+        """Checkpoint fragments for this service's mutable serving state.
+
+        Query ledger, every response-cache store, the federation comm
+        ledger (when a runtime is attached), and the defense rng stream
+        (when one exists). The workload layer snapshots whole shard
+        fleets through this same method, so serving state has exactly
+        one checkpoint shape.
+        """
+        fragments = {"ledger": capture_state(self.ledger)}
+        if self._caches is not None:
+            for key, cache in self._caches.items():
+                fragments[f"cache:{key}"] = capture_state(cache)
+        if self.runtime is not None:
+            fragments["comm"] = capture_state(self.runtime.ledger)
+        if self.rng is not None:
+            fragments["rng"] = capture_state(self.rng)
+        return fragments
+
+    def restore_serving_fragments(self, fragments: dict) -> None:
+        """Reinstate :meth:`serving_fragments` output onto this service.
+
+        Unknown fragment names are ignored (callers may bundle their own
+        alongside); state present in the snapshot but impossible on this
+        service — cache rows with caching disabled, comm bytes with no
+        runtime — raises :class:`~repro.exceptions.CheckpointError`
+        rather than silently dropping bookkeeping.
+        """
+        restore_state(self.ledger, fragments["ledger"])
+        for name, fragment in fragments.items():
+            if name.startswith("cache:"):
+                if self._caches is None:
+                    raise CheckpointError(
+                        "snapshot holds response-cache state but this service "
+                        "has caching disabled"
+                    )
+                cache = ResponseCache(self.cache_size)
+                restore_state(cache, fragment)
+                self._caches[name[len("cache:"):]] = cache
+        if "comm" in fragments:
+            if self.runtime is None:
+                raise CheckpointError(
+                    "snapshot holds federation comm state but this service "
+                    "has no runtime attached"
+                )
+            restore_state(self.runtime.ledger, fragments["comm"])
+        if "rng" in fragments:
+            if self.rng is None:
+                raise CheckpointError(
+                    "snapshot holds a defense rng stream but this service "
+                    "has none"
+                )
+            restore_state(self.rng, fragments["rng"])
+
+    def _query_fragments(self, blocks: "list[np.ndarray]") -> dict:
+        """Snapshot fragments for one chunk boundary of an accumulation."""
+        rows = (
+            np.vstack(blocks) if blocks else np.empty((0, self.n_classes))
+        )
+        return {
+            **self.serving_fragments(),
+            "rows": raw_fragment(arrays={"rows": rows}),
+        }
+
+    def _restore_query_snapshot(self, snapshot) -> "tuple[list[np.ndarray], int, bool]":
+        """Reinstate a mid-accumulation snapshot onto this service."""
+        self.restore_serving_fragments(snapshot.fragments)
+        rows = snapshot.fragment("rows")["arrays"]["rows"]
+        blocks = [rows] if rows.size else []
+        return blocks, int(snapshot.meta["next_start"]), bool(snapshot.meta["done"])
+
+    def _query_checkpointed(
+        self, indices: np.ndarray, consumer: str, checkpoint: CheckpointPlan
+    ) -> np.ndarray:
+        if self.defense_stack is not None and len(self.defense_stack):
+            raise CheckpointError(
+                "checkpointed accumulation refuses a non-empty defense "
+                "stack: per-defense tallies are not snapshotted, so a "
+                "resumed run could diverge silently"
+            )
+        checkpoint.bind_fingerprint(self._query_fingerprint(indices, consumer))
+        snapshot = checkpoint.latest()
+        blocks: list[np.ndarray] = []
+        start_pos, done = 0, False
+        if snapshot is not None:
+            blocks, start_pos, done = self._restore_query_snapshot(snapshot)
+        step = self.max_batch or indices.size
+        for chunk_index, start in enumerate(range(0, indices.size, step)):
+            if done or start < start_pos:
+                continue
+            exhausted = False
+            try:
+                block, exhausted = self._serve_chunk(
+                    indices[start : start + step], consumer
+                )
+            except CommBudgetExceededError:
+                if self.exhaustion != "truncate":
+                    raise
+                block = np.empty((0, self.n_classes))
+                exhausted = True
+            if block.size:
+                blocks.append(block)
+            done = exhausted
+            checkpoint.maybe_emit(
+                chunk_index,
+                lambda: self._query_fragments(blocks),
+                meta={"next_start": start + step, "done": done},
+            )
         if not blocks:
             return np.empty((0, self.n_classes))
         return np.vstack(blocks)

@@ -1,0 +1,86 @@
+"""Checkpoint codecs for serving state: query ledger and response cache.
+
+Registered in :data:`repro.checkpoint.CHECKPOINTS` on serving-package
+import. Both codecs restore *exact* bookkeeping — per-consumer dict
+insertion order included, because :meth:`QueryLedger.consumers` reports
+first-charge order and :class:`ResponseCache` eviction behaviour is a
+function of recency order — so a resumed serving run replays cache hits
+and budget exhaustion byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.checkpoint.codec import CHECKPOINTS, StateCodec
+from repro.serving.cache import ResponseCache
+from repro.serving.ledger import QueryLedger
+
+__all__ = ["QueryLedgerCodec", "ResponseCacheCodec"]
+
+
+@CHECKPOINTS.register("serving/ledger")
+class QueryLedgerCodec(StateCodec):
+    """Snapshot a :class:`QueryLedger`: budgets plus per-consumer tallies."""
+
+    kind = "serving/ledger"
+    target = QueryLedger
+    state_fields = (
+        "budget",
+        "consumer_budgets",
+        "_counts",
+        "_cache_hits",
+        "_evictions",
+    )
+
+    def capture(self, obj: Any) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        meta = {
+            "budget": obj.budget,
+            "consumer_budgets": dict(obj.consumer_budgets),
+            "counts": dict(obj._counts),
+            "cache_hits": dict(obj._cache_hits),
+            "evictions": dict(obj._evictions),
+        }
+        return meta, {}
+
+    def restore(
+        self, obj: Any, meta: dict[str, Any], arrays: dict[str, np.ndarray]
+    ) -> None:
+        obj.budget = meta["budget"]
+        obj.consumer_budgets = dict(meta["consumer_budgets"])
+        # JSON objects preserve key order, so first-charge order survives
+        # the round trip into these insertion-ordered dicts.
+        obj._counts = {name: int(n) for name, n in meta["counts"].items()}
+        obj._cache_hits = {name: int(n) for name, n in meta["cache_hits"].items()}
+        obj._evictions = {name: int(n) for name, n in meta["evictions"].items()}
+
+
+@CHECKPOINTS.register("serving/cache")
+class ResponseCacheCodec(StateCodec):
+    """Snapshot a :class:`ResponseCache`: rows, recency order, evictions."""
+
+    kind = "serving/cache"
+    target = ResponseCache
+    state_fields = ("max_entries", "_rows", "evictions")
+
+    def capture(self, obj: Any) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        meta = {
+            "max_entries": obj.max_entries,
+            "evictions": obj.evictions,
+            # Explicit order: the LRU contract lives in _rows' ordering.
+            "order": list(obj._rows),
+        }
+        # Copies, so an in-memory fragment stays valid while the live
+        # cache keeps serving.
+        arrays = {digest: row.copy() for digest, row in obj._rows.items()}
+        return meta, arrays
+
+    def restore(
+        self, obj: Any, meta: dict[str, Any], arrays: dict[str, np.ndarray]
+    ) -> None:
+        obj.max_entries = meta["max_entries"]
+        obj.evictions = int(meta["evictions"])
+        obj._rows = OrderedDict((digest, arrays[digest]) for digest in meta["order"])

@@ -1,6 +1,7 @@
 """Shared utilities: RNG handling, validation helpers, numeric kernels."""
 
 from repro.utils.random import check_random_state, spawn_rngs
+from repro.utils.registry import Registry
 from repro.utils.validation import (
     check_array,
     check_matrix,
@@ -21,6 +22,7 @@ from repro.utils.numeric import (
 )
 
 __all__ = [
+    "Registry",
     "check_random_state",
     "spawn_rngs",
     "check_array",

@@ -41,6 +41,7 @@ from typing import Any
 import numpy as np
 
 from repro.api.defenses import DefenseStack, QueryAuditDefense
+from repro.checkpoint import CheckpointPlan, content_fingerprint, raw_fragment
 from repro.exceptions import QueryBudgetExceededError, ValidationError
 from repro.federated.model import VerticalFLModel
 from repro.serving.ledger import QueryLedger
@@ -269,13 +270,28 @@ class ShardedPredictionService:
         """
         self.vfl.predict(np.zeros(1, dtype=np.int64))
 
-    def replay(self, trace: TrafficTrace, *, mode: str = "threads") -> WorkloadReport:
+    def replay(
+        self,
+        trace: TrafficTrace,
+        *,
+        mode: str = "threads",
+        checkpoint: "CheckpointPlan | None" = None,
+    ) -> WorkloadReport:
         """Replay a trace through the shards and merge the accounting.
 
         ``mode="threads"`` runs one worker per shard;  ``mode="serial"``
         performs the identical per-shard work on the calling thread.
         The two are bit-identical by construction — ``serial`` exists as
         the differential oracle and for profiling.
+
+        With a ``checkpoint`` plan (``mode="serial"`` only — a snapshot
+        captures a serial replay cursor), every event boundary may emit
+        a snapshot of all shard ledgers, caches, defense rng streams and
+        the refusal tallies, and the call first resumes mid-trace from
+        the plan's latest matching snapshot. The resumed report's
+        accounting is bit-identical to an uninterrupted serial replay —
+        which is itself bit-identical to the threaded one. Checkpointing
+        refuses defense stacks: per-defense tallies are not snapshotted.
         """
         if mode not in REPLAY_MODES:
             raise ValidationError(
@@ -283,6 +299,19 @@ class ShardedPredictionService:
             )
         if trace.n_events == 0:
             raise ValidationError("cannot replay an empty trace")
+        if checkpoint is not None:
+            if mode != "serial":
+                raise ValidationError(
+                    "checkpointed replay requires mode='serial': a snapshot "
+                    "captures one serial cursor through the shards, which "
+                    "concurrent workers do not have"
+                )
+            if self.defense_specs:
+                raise ValidationError(
+                    "checkpointed replay refuses defense stacks: per-defense "
+                    "tallies are not snapshotted, so a resumed replay could "
+                    "diverge silently"
+                )
         pins = np.fromiter(
             (shard_of(name, self.n_shards) for name in trace.names),
             dtype=np.int64,
@@ -298,7 +327,11 @@ class ShardedPredictionService:
         try:
             self._warm_kernels()
             start = time.perf_counter()
-            if mode == "serial" or self.n_shards == 1:
+            if checkpoint is not None:
+                refusal_maps = self._replay_checkpointed(
+                    trace, shard_events, checkpoint
+                )
+            elif mode == "serial" or self.n_shards == 1:
                 refusal_maps = [
                     self._replay_shard(trace, s, shard_events[s])
                     for s in range(self.n_shards)
@@ -331,23 +364,127 @@ class ShardedPredictionService:
             elapsed_s=elapsed,
         )
 
+    # ------------------------------------------------------------------
+    # Checkpointed serial replay
+    # ------------------------------------------------------------------
+    def _replay_fingerprint(self, trace: TrafficTrace) -> str:
+        """Bind snapshots to this exact trace against this shard layout."""
+        lead = self.shards[0]
+        return content_fingerprint(
+            {
+                "workload": {
+                    "n_shards": self.n_shards,
+                    "max_batch": lead.max_batch,
+                    "cache": lead.cache_enabled,
+                    "cache_size": lead.cache_size,
+                    "cache_scope": lead.cache_scope,
+                    "exhaustion": lead.exhaustion,
+                    "consumer_budgets": dict(lead.ledger.consumer_budgets),
+                },
+                "trace": {
+                    "times": trace.times,
+                    "consumer_ids": trace.consumer_ids,
+                    "names": list(trace.names),
+                    "sample_ids": trace.sample_ids,
+                    "offsets": trace.offsets,
+                },
+            }
+        )
+
+    def _replay_fragments(self) -> dict:
+        """One fragment per shard state item, name-spaced ``shard{s}:``."""
+        fragments: dict[str, Any] = {}
+        for s, service in enumerate(self.shards):
+            for name, fragment in service.serving_fragments().items():
+                fragments[f"shard{s}:{name}"] = fragment
+        return fragments
+
+    def _replay_checkpointed(
+        self,
+        trace: TrafficTrace,
+        shard_events: "list[np.ndarray]",
+        checkpoint: CheckpointPlan,
+    ) -> "list[dict[str, int]]":
+        """Serial replay with per-event snapshot boundaries and resume."""
+        checkpoint.bind_fingerprint(self._replay_fingerprint(trace))
+        snapshot = checkpoint.latest()
+        refusal_maps: list[dict[str, int]] = [{} for _ in range(self.n_shards)]
+        resume_shard, resume_cursor = 0, 0
+        if snapshot is not None:
+            for s, service in enumerate(self.shards):
+                prefix = f"shard{s}:"
+                service.restore_serving_fragments(
+                    {
+                        name[len(prefix):]: fragment
+                        for name, fragment in snapshot.fragments.items()
+                        if name.startswith(prefix)
+                    }
+                )
+            refusal_maps = [dict(m) for m in snapshot.meta["refusals"]]
+            resume_shard = int(snapshot.meta["shard"])
+            resume_cursor = int(snapshot.meta["cursor"])
+        # Global event numbering across the serial shard order, so the
+        # snapshot step keeps increasing when the cursor crosses shards.
+        bases = np.zeros(self.n_shards + 1, dtype=np.int64)
+        np.cumsum([ev.size for ev in shard_events], out=bases[1:])
+        for s in range(resume_shard, self.n_shards):
+            start_cursor = resume_cursor if s == resume_shard else 0
+
+            def on_event(cursor: int, shard: int = s) -> None:
+                checkpoint.maybe_emit(
+                    int(bases[shard]) + cursor,
+                    self._replay_fragments,
+                    meta={
+                        "shard": shard,
+                        "cursor": cursor + 1,
+                        "refusals": [dict(m) for m in refusal_maps],
+                    },
+                )
+
+            self._replay_shard(
+                trace,
+                s,
+                shard_events[s],
+                start=start_cursor,
+                on_event=on_event,
+                refused=refusal_maps[s],
+            )
+        return refusal_maps
+
     def _replay_shard(
-        self, trace: TrafficTrace, shard: int, events: np.ndarray
+        self,
+        trace: TrafficTrace,
+        shard: int,
+        events: np.ndarray,
+        *,
+        start: int = 0,
+        on_event=None,
+        refused: "dict[str, int] | None" = None,
     ) -> dict[str, int]:
-        """Serve one shard's events in trace order; returns its refusals."""
+        """Serve one shard's events in trace order; returns its refusals.
+
+        ``start`` skips events a checkpoint already replayed; ``on_event``
+        (called with the shard-local cursor after each served event) is
+        the snapshot boundary hook; ``refused`` lets a resumed replay keep
+        accumulating into restored tallies.
+        """
         service = self.shards[shard]
         names = trace.names
         consumer_ids = trace.consumer_ids
         offsets = trace.offsets
         sample_ids = trace.sample_ids
         query = service.query
-        refused: dict[str, int] = {}
-        for i in events:
+        if refused is None:
+            refused = {}
+        for cursor in range(start, events.size):
+            i = events[cursor]
             name = names[consumer_ids[i]]
             try:
                 query(sample_ids[offsets[i] : offsets[i + 1]], consumer=name)
             except QueryBudgetExceededError:
                 refused[name] = refused.get(name, 0) + 1
+            if on_event is not None:
+                on_event(cursor)
         return refused
 
     def audit_report(self) -> dict[str, Any]:

@@ -1,0 +1,62 @@
+"""Bad fixture: every way a registered codec can break checkpoint-completeness."""
+
+from repro.checkpoint import CHECKPOINTS, StateCodec
+
+
+class Meter:
+    def __init__(self):
+        self.budget = 10
+        self.history = []
+
+
+# No state_fields declaration at all.
+@CHECKPOINTS.register("fixture/undeclared")
+class UndeclaredCodec(StateCodec):
+    kind = "fixture/undeclared"
+    target = Meter
+
+    def capture(self, obj):
+        return {"budget": obj.budget}, {}
+
+    def restore(self, obj, meta, arrays):
+        obj.budget = meta["budget"]
+
+
+# Declared, but empty — coverage unverifiable.
+@CHECKPOINTS.register("fixture/empty")
+class EmptyFieldsCodec(StateCodec):
+    kind = "fixture/empty"
+    target = Meter
+    state_fields = ()
+
+    def capture(self, obj):
+        return {"budget": obj.budget}, {}
+
+    def restore(self, obj, meta, arrays):
+        obj.budget = meta["budget"]
+
+
+# Captures history but restore silently drops it: the exact divergence
+# the rule exists to catch.
+@CHECKPOINTS.register("fixture/oneside")
+class OneSidedCodec(StateCodec):
+    kind = "fixture/oneside"
+    target = Meter
+    state_fields = ("budget", "history")
+
+    def capture(self, obj):
+        return {"budget": obj.budget, "history": list(obj.history)}, {}
+
+    def restore(self, obj, meta, arrays):
+        obj.budget = meta["budget"]
+
+
+# Registered without the restore half of the contract.
+@CHECKPOINTS.register("fixture/capture-only")
+class CaptureOnlyCodec(StateCodec):
+    kind = "fixture/capture-only"
+    target = Meter
+    state_fields = ("budget",)
+
+    def capture(self, obj):
+        return {"budget": obj.budget}, {}

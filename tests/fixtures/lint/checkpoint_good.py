@@ -1,0 +1,26 @@
+"""Good fixture: a registered codec that honors checkpoint-completeness."""
+
+import numpy as np
+
+from repro.checkpoint import CHECKPOINTS, StateCodec
+
+
+class Meter:
+    def __init__(self):
+        self.budget = 10
+        self._counts = {}
+
+
+@CHECKPOINTS.register("fixture/meter")
+class MeterCodec(StateCodec):
+    kind = "fixture/meter"
+    target = Meter
+    state_fields = ("budget", "_counts")
+
+    def capture(self, obj):
+        meta = {"budget": obj.budget, "_counts": dict(obj._counts)}
+        return meta, {"marker": np.zeros(1)}
+
+    def restore(self, obj, meta, arrays):
+        obj.budget = meta["budget"]
+        obj._counts = dict(meta["_counts"])

@@ -416,3 +416,208 @@ class TestFederationEquivalence:
         assert report.comm_cost["rounds"] == 1
         assert report.comm_cost["byte_budget"] is None
         assert set(report.comm_cost["edges"]) == {"0->1", "1->0"}
+
+
+class TestCheckpointEquivalence:
+    """Suspend/resume is invisible in the numbers: resumed == fresh.
+
+    The checkpoint subsystem promises bit-identity, not approximation —
+    a run suspended mid-epoch (GRNA training), mid-accumulation (the
+    serving/federation protocol rounds), or mid-trace (sharded replay)
+    and then resumed must produce exactly the report an uninterrupted
+    run produces. ``halt_after`` stands in for the kill
+    (``scripts/kill_resume_smoke.py`` proves the SIGKILL case in CI).
+    """
+
+    def _reference(self, model_kind, attack, **kwargs):
+        from repro.api import ScenarioConfig, run_scenario
+
+        return run_scenario(
+            ScenarioConfig(
+                dataset="bank",
+                model=model_kind,
+                attack=attack,
+                target_fraction=0.4,
+                scale=TINY,
+                seed=11,
+                **kwargs,
+            )
+        )
+
+    @pytest.mark.parametrize("model_kind", ["nn", "rf"])
+    def test_grna_training_resumes_mid_epoch(self, model_kind, tmp_path):
+        """Both GRNA paths (direct and distilled) resume bit-identically."""
+        from repro.api import ScenarioConfig, run_scenario
+        from repro.checkpoint import CheckpointPause, CheckpointPlan
+
+        fresh = self._reference(model_kind, "grna")
+
+        def run(plan):
+            return run_scenario(
+                ScenarioConfig(
+                    dataset="bank",
+                    model=model_kind,
+                    attack="grna",
+                    target_fraction=0.4,
+                    scale=TINY,
+                    seed=11,
+                    attack_params={"checkpoint": plan},
+                )
+            )
+
+        with pytest.raises(CheckpointPause):
+            run(CheckpointPlan(tmp_path, halt_after=1))
+        from repro.checkpoint import SnapshotStore
+
+        assert SnapshotStore(tmp_path).steps() == [0]
+        resumed = run(CheckpointPlan(tmp_path))
+        assert resumed.metrics == fresh.metrics
+        assert np.array_equal(
+            resumed.result.x_target_hat, fresh.result.x_target_hat
+        )
+
+    @pytest.mark.parametrize(
+        "model_kind,attack",
+        [("lr", "esa"), ("nn", "grna"), ("dt", "pra"), ("rf", "grna")],
+    )
+    def test_serving_resumes_at_round_boundary(self, model_kind, attack, tmp_path):
+        """The metered accumulation resumes between federation rounds.
+
+        ``batch_size=16`` splits the pool into multiple protocol rounds;
+        the run halts after two of them, so the resume must fast-forward
+        the accumulated rows, the query ledger, *and* the CommLedger —
+        every model kind, both attack families.
+        """
+        from repro.api import ScenarioConfig, run_scenario
+        from repro.checkpoint import CheckpointPause, CheckpointPlan
+
+        fresh = self._reference(model_kind, attack, batch_size=16)
+
+        def run(plan):
+            return run_scenario(
+                ScenarioConfig(
+                    dataset="bank",
+                    model=model_kind,
+                    attack=attack,
+                    target_fraction=0.4,
+                    scale=TINY,
+                    seed=11,
+                    batch_size=16,
+                ),
+                serving_checkpoint=plan,
+            )
+
+        with pytest.raises(CheckpointPause):
+            run(CheckpointPlan(tmp_path, halt_after=2))
+        resumed = run(CheckpointPlan(tmp_path))
+        assert resumed.to_json() == fresh.to_json()
+        assert resumed.comm_cost == fresh.comm_cost
+        assert resumed.queries_used == fresh.queries_used
+
+    def test_sharded_replay_resumes_mid_trace(self, tmp_path):
+        """A traffic replay suspends mid-trace and resumes to the same books."""
+        from repro.checkpoint import CheckpointPause, CheckpointPlan
+        from repro.workload import (
+            ShardedPredictionService,
+            attacker_trace,
+            make_trace,
+        )
+
+        vfl = build_scenario("bank", "lr", 0.4, TINY, 5).vfl
+        trace = make_trace(
+            6, 18, n_samples=vfl.n_samples, batch_size=3, seed=11
+        ).merge(
+            attacker_trace("needle", np.arange(5), repeats=3, batch_size=4, seed=12)
+        )
+
+        def make_sharded():
+            return ShardedPredictionService(
+                vfl,
+                n_shards=3,
+                consumer_budgets={"needle": 4},
+                max_batch=4,
+                cache=True,
+                cache_size=6,
+                exhaustion="raise",
+                seed=5,
+            )
+
+        fresh = make_sharded().replay(trace, mode="serial")
+        with pytest.raises(CheckpointPause):
+            make_sharded().replay(
+                trace,
+                mode="serial",
+                checkpoint=CheckpointPlan(tmp_path, every=2, halt_after=7),
+            )
+        resumed = make_sharded().replay(
+            trace, mode="serial", checkpoint=CheckpointPlan(tmp_path, every=2)
+        )
+        assert resumed.accounting() == fresh.accounting()
+        assert resumed.refusals == fresh.refusals
+
+    def test_resumable_facade_report_is_byte_identical(self, tmp_path):
+        """run_scenario_resumable: halt, resume, compare report.json bytes."""
+        from repro.api import ScenarioConfig, run_scenario, run_scenario_resumable
+        from repro.checkpoint import CheckpointPause
+
+        config = ScenarioConfig(
+            dataset="bank",
+            model="nn",
+            attack="grna",
+            target_fraction=0.4,
+            scale=TINY,
+            seed=11,
+            batch_size=16,
+        )
+        fresh = run_scenario(config)
+        with pytest.raises(CheckpointPause):
+            run_scenario_resumable(
+                config, store_dir=tmp_path / "run", halt_after=1
+            )
+        assert not (tmp_path / "run" / "report.json").exists()
+        resumed = run_scenario_resumable(config, store_dir=tmp_path / "run")
+        assert resumed.to_json() == fresh.to_json()
+        assert (
+            tmp_path / "run" / "report.json"
+        ).read_text() == fresh.to_json() + "\n"
+
+    def test_resumable_facade_pins_its_config(self, tmp_path):
+        """Resuming a directory under a different config is refused."""
+        import dataclasses
+
+        from repro.api import ScenarioConfig, run_scenario_resumable
+        from repro.exceptions import CheckpointError
+
+        config = ScenarioConfig(
+            dataset="bank",
+            model="lr",
+            attack="esa",
+            target_fraction=0.4,
+            scale=TINY,
+            seed=11,
+        )
+        run_scenario_resumable(config, store_dir=tmp_path / "run")
+        with pytest.raises(CheckpointError, match="fresh store_dir"):
+            run_scenario_resumable(
+                dataclasses.replace(config, seed=12), store_dir=tmp_path / "run"
+            )
+
+    def test_checkpointed_serving_refuses_defense_stacks(self, tmp_path):
+        """State the plan cannot capture is refused, never half-resumed."""
+        from repro.api import ScenarioConfig, run_scenario
+        from repro.checkpoint import CheckpointPlan
+        from repro.exceptions import CheckpointError
+
+        with pytest.raises(CheckpointError, match="defense"):
+            run_scenario(
+                ScenarioConfig(
+                    dataset="bank",
+                    model="lr",
+                    attack="esa",
+                    target_fraction=0.4,
+                    scale=TINY,
+                    seed=11,
+                    defenses=[("rounding", {"digits": 2})],
+                ),
+                serving_checkpoint=CheckpointPlan(tmp_path),
+            )

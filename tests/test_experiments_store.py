@@ -117,6 +117,38 @@ class TestResultsStore:
         assert reopened.get("fig5", "tiny", "bank:40:t0", "abc123") is not None
         assert len(reopened) == 1
 
+    def test_truncated_trailing_line_is_quarantined_and_repaired(self, tmp_path):
+        # Crash-safety goes beyond tolerating the partial line: the torn
+        # bytes move to a .partial sidecar and the store file is repaired
+        # in place (atomically), so the damage cannot resurface.
+        store = ResultsStore(tmp_path)
+        store.put(_summary())
+        path = tmp_path / "fig5.jsonl"
+        with path.open("a") as fh:
+            fh.write('{"experiment_id": "fig5", "trunc')
+        assert len(ResultsStore(tmp_path)) == 1  # loading triggers the repair
+        partial = path.with_name(path.name + ".partial")
+        assert partial.exists() and "trunc" in partial.read_text()
+        assert "trunc" not in path.read_text()
+        # The repaired file loads cleanly and appends keep working.
+        repaired = ResultsStore(tmp_path)
+        assert len(repaired) == 1
+        repaired.put(_summary(unit_id="bank:40:t1"))
+        assert len(ResultsStore(tmp_path)) == 2
+
+    def test_interior_bad_line_is_skipped_not_quarantined(self, tmp_path):
+        # Only a *trailing* partial line is crash evidence; a bad line in
+        # the middle of the file is corruption to skip, not to rewrite.
+        store = ResultsStore(tmp_path)
+        store.put(_summary())
+        path = tmp_path / "fig5.jsonl"
+        lines = path.read_text().splitlines()
+        path.write_text("not json\n" + "\n".join(lines) + "\n")
+        reopened = ResultsStore(tmp_path)
+        assert len(reopened) == 1
+        assert not path.with_name(path.name + ".partial").exists()
+        assert path.read_text().startswith("not json")
+
     def test_clear(self, tmp_path):
         store = ResultsStore(tmp_path)
         store.put(_summary())
@@ -313,3 +345,144 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["table2", "--jobs", "0"])
         capsys.readouterr()
+
+
+def _shard_units(scale):
+    return [
+        TrialSpec.make("shardy", "u0", 100, base=10),
+        TrialSpec.make("shardy", "u1", 101, base=20),
+    ]
+
+
+def _shard_run_unit(spec, scale):
+    if "part" in spec.kwargs:
+        return {spec.kwargs["part"]: spec.kwargs["base"] + spec.kwargs["offset"]}
+    return {
+        part: spec.kwargs["base"] + offset
+        for part, offset in (("a", 1), ("b", 2))
+    }
+
+
+def _shard_aggregate(scale, units, results):
+    from repro.experiments.reporting import ExperimentResult
+
+    rows = [
+        {"unit": spec.unit_id, **results[spec.unit_id]} for spec in units
+    ]
+    return ExperimentResult(
+        experiment_id="shardy",
+        title="shard mechanics fixture",
+        columns=("unit", "a", "b"),
+        rows=rows,
+        meta={"scale": scale.name},
+    )
+
+
+def _shard_split(unit, scale):
+    return [
+        TrialSpec.make(
+            unit.experiment_id,
+            f"{unit.unit_id}@{part}",
+            unit.seed,
+            **{**unit.kwargs, "part": part, "offset": offset},
+        )
+        for part, offset in (("a", 1), ("b", 2))
+    ]
+
+
+def _shard_merge(unit, shards, results):
+    merged = {}
+    for shard in shards:
+        merged.update(results[shard.unit_id])
+    return merged
+
+
+class TestShardedUnits:
+    """ExperimentSpec.shard_unit/merge_shards: resume inside one unit."""
+
+    @pytest.fixture()
+    def shardy(self, monkeypatch):
+        from repro.experiments.spec import EXPERIMENT_SPECS, ExperimentSpec
+
+        spec = ExperimentSpec(
+            "shardy",
+            _shard_units,
+            _shard_run_unit,
+            _shard_aggregate,
+            shard_unit=_shard_split,
+            merge_shards=_shard_merge,
+        )
+        monkeypatch.setitem(EXPERIMENT_SPECS, "shardy", spec)
+        return spec
+
+    def test_declaring_only_one_hook_is_rejected(self):
+        from repro.experiments.spec import ExperimentSpec
+
+        with pytest.raises(ValidationError, match="shard_unit"):
+            ExperimentSpec(
+                "half",
+                _shard_units,
+                _shard_run_unit,
+                _shard_aggregate,
+                shard_unit=_shard_split,
+            )
+
+    def test_storeless_run_matches_unsharded_payloads(self, shardy):
+        result = run_batch("shardy", TINY)
+        assert result.rows == [
+            {"unit": "u0", "a": 11, "b": 12},
+            {"unit": "u1", "a": 21, "b": 22},
+        ]
+
+    def test_shards_cache_and_merge(self, shardy, tmp_path):
+        lines = []
+        baseline = run_batch("shardy", TINY)
+        store = ResultsStore(tmp_path)
+        first = run_batch("shardy", TINY, store=store, on_progress=lines.append)
+        assert first.rows == baseline.rows
+        assert "shards: 4 expanded, 0 cached, 4 to run" in lines[-1]
+        # Both shard records and merged unit records are persisted.
+        ids = {s.unit_id for s in store.summaries("shardy")}
+        assert ids == {"u0", "u1", "u0@a", "u0@b", "u1@a", "u1@b"}
+
+        second = run_batch(
+            "shardy", TINY, store=ResultsStore(tmp_path), on_progress=lines.append
+        )
+        assert second.rows == baseline.rows
+        assert "0 to run" in lines[-1]
+
+    def test_kill_between_shards_and_merge_reruns_nothing(self, shardy, tmp_path):
+        """Unit records lost, shard records kept: everything cache-hits."""
+        import json
+
+        baseline = run_batch("shardy", TINY)
+        store = ResultsStore(tmp_path)
+        run_batch("shardy", TINY, store=store)
+        for path in tmp_path.glob("*.jsonl"):
+            kept = [
+                line
+                for line in path.read_text().splitlines()
+                if "@" in json.loads(line)["unit_id"]
+            ]
+            path.write_text("".join(line + "\n" for line in kept))
+        lines = []
+        resumed = run_batch(
+            "shardy", TINY, store=ResultsStore(tmp_path), on_progress=lines.append
+        )
+        assert resumed.rows == baseline.rows
+        assert lines[-1].endswith("0 to run"), lines[-1]
+
+    def test_fig7_sharded_equals_unsharded_bit_identical(self, tmp_path):
+        """The real consumer: fig7 shards per model kind, merges per unit."""
+        lines = []
+        baseline = run_batch("fig7", TINY)  # storeless: no sharding involved
+        first = run_batch(
+            "fig7", TINY, store=ResultsStore(tmp_path), on_progress=lines.append
+        )
+        assert first.rows == baseline.rows
+        assert "shards:" in lines[-1]
+        second = run_batch(
+            "fig7", TINY, store=ResultsStore(tmp_path), on_progress=lines.append
+        )
+        assert second.rows == baseline.rows
+        assert "0 to run" in lines[-1]

@@ -43,6 +43,7 @@ class TestRuleFixtures:
             ("ordered-iteration", "ordering_bad.py", "ordering_good.py"),
             ("exception-hygiene", "excepts_bad.py", "excepts_good.py"),
             ("registry-completeness", "registry_bad.py", "registry_good.py"),
+            ("checkpoint-completeness", "checkpoint_bad.py", "checkpoint_good.py"),
         ],
     )
     def test_bad_fires_good_silent(self, rule, bad, good):
@@ -65,6 +66,14 @@ class TestRuleFixtures:
         assert "already declared" in messages  # duplicate experiment id
         assert "module-level function" in messages  # lambda component
         assert "--smoke" in messages  # scale-blind trial_units
+
+    def test_checkpoint_bad_covers_every_contract(self):
+        report, _ = lint_fixture("checkpoint_bad.py", "checkpoint-completeness")
+        messages = " ".join(f.message for f in report.findings)
+        assert "declares no state_fields" in messages
+        assert "non-empty tuple of string literals" in messages
+        assert "restore never touches it" in messages  # one-sided round-trip
+        assert "does not define restore" in messages
 
 
 class TestTimingTier:
