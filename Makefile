@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving resume-smoke
+.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving bench-resilience resume-smoke storm-smoke
 
 ## test: run the full test suite (tier-1 gate)
 test:
@@ -33,16 +33,25 @@ bench-baseline:
 bench-serving:
 	$(PY) benchmarks/bench_serving_scale.py
 
+## bench-resilience: full-scale resilient-exchange gates, writes BENCH_resilience.json
+bench-resilience:
+	$(PY) benchmarks/bench_resilience.py
+
 ## bench-smoke: kernel + serving + federation checks at tiny scale (regression-gated)
 bench-smoke:
 	$(PY) -m repro.bench --smoke
 	$(PY) benchmarks/bench_service.py --tiny
 	$(PY) benchmarks/bench_federation.py --tiny
 	$(PY) benchmarks/bench_serving_scale.py --tiny
+	$(PY) benchmarks/bench_resilience.py --tiny
 
 ## resume-smoke: SIGKILL a GRNA run mid-epoch, resume it, assert bit-identical report
 resume-smoke:
 	$(PY) scripts/kill_resume_smoke.py
+
+## storm-smoke: scheduler bit-identity and mid-storm resume under a fault storm
+storm-smoke:
+	$(PY) scripts/fault_storm_smoke.py
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -92,10 +101,18 @@ docs-check:
 	grep -q 'run_scenario_resumable' docs/architecture.md
 	grep -q 'repro-ckpt' README.md
 	grep -q 'run_scenario_resumable' README.md
+	grep -q '## Resilience layer' docs/architecture.md
+	grep -q 'RetryPolicy' docs/architecture.md
+	grep -q 'quorum' docs/architecture.md
+	grep -q 'CircuitBreaker' docs/architecture.md
+	grep -q 'fault_storm' README.md
+	grep -q 'BENCH_resilience' README.md
 	$(PY) -c "import repro.analysis as a; assert a.__doc__ and 'repro-lint' in a.__doc__; \
 	    assert all(getattr(a, n).__doc__ for n in ('run_lint', 'LintConfig', 'LintReport', 'Finding', 'RULES'))"
 	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
 	    assert all(getattr(f, n).__doc__ for n in ('Message', 'Transport', 'CommLedger', 'FederationRuntime', 'TopologyConfig', 'FaultPlan'))"
+	$(PY) -c "import repro.resilience as r; assert r.__doc__ and 'RetryPolicy' in r.__doc__; \
+	    assert all(getattr(r, n).__doc__ for n in ('RetryPolicy', 'BreakerPolicy', 'CircuitBreaker', 'SimClock', 'ReplyCache'))"
 	$(PY) -c "import repro.bench as b; assert b.__doc__ and 'repro-bench' in b.__doc__; \
 	    assert all(getattr(b, n).__doc__ for n in ('run_bench', 'regression_failures', 'KernelResult'))"
 	$(PY) -c "import repro.workload as w; assert w.__doc__ and 'TrafficTrace' in w.__doc__; \

@@ -34,6 +34,7 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "tensor": 2,
     "datasets": 3,
     "nn": 3,
+    "resilience": 3,
     "models": 4,
     "metrics": 5,
     "federated": 5,

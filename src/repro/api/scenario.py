@@ -57,6 +57,7 @@ from repro.federation import SCHEDULERS, FederationRuntime, TopologyConfig
 from repro.metrics import aggregate_cbr, mse_per_feature, path_cbr, reconstruction_cbr
 from repro.models import BaseClassifier
 from repro.nn.data import train_test_split
+from repro.resilience import DEGRADATIONS, BreakerPolicy, RetryPolicy
 from repro.serving import PredictionService
 from repro.utils.random import check_random_state, spawn_rngs
 
@@ -91,6 +92,32 @@ def _check_comm_budget(value: "int | float | None") -> None:
     elif not isinstance(value, int) or isinstance(value, bool) or value < 1:
         raise ScenarioError(
             "comm_budget must be positive bytes (int), a fraction in "
+            f"(0, 1], or None, got {value!r}"
+        )
+
+
+def _check_quorum_spec(value: "int | float | None") -> None:
+    """Shape-only validation for the ``quorum`` knob.
+
+    ``None`` fails fast on any lost party, an ``int`` is an absolute
+    surviving-party count, a ``float`` is a fraction in ``(0, 1]`` of the
+    deployment's parties. The *upper* bound of an integer quorum depends
+    on the topology's party count, which only exists once the scenario is
+    built — :class:`~repro.federation.FederationRuntime` enforces it
+    there; this helper catches the shape errors early.
+    """
+    if value is None:
+        return
+    if isinstance(value, bool):
+        raise ScenarioError(f"quorum {value!r} is not a party count or fraction")
+    if isinstance(value, float):
+        if not 0.0 < value <= 1.0:
+            raise ScenarioError(
+                f"a fractional quorum must lie in (0, 1], got {value}"
+            )
+    elif not isinstance(value, int) or value < 1:
+        raise ScenarioError(
+            "quorum must be a positive party count (int), a fraction in "
             f"(0, 1], or None, got {value!r}"
         )
 
@@ -163,6 +190,10 @@ def build_scenario(
     comm_budget: "int | float | None" = None,
     scheduler: str = "sequential",
     checkpoint: "CheckpointPlan | None" = None,
+    retry: "RetryPolicy | int | dict | None" = None,
+    quorum: "int | float | None" = None,
+    degradation: str = "zero_fill",
+    breaker: "BreakerPolicy | int | dict | None" = None,
 ) -> VFLScenario:
     """Construct one complete attack scenario.
 
@@ -236,6 +267,26 @@ def build_scenario(
         :meth:`~repro.serving.PredictionService.query`; incompatible
         with a non-empty ``defense_stack`` (per-defense tallies are not
         snapshotted).
+    retry, quorum, degradation:
+        Resilience knobs forwarded to the
+        :class:`~repro.federation.FederationRuntime`. ``retry`` (a
+        :class:`~repro.resilience.RetryPolicy`, an int attempt count, or
+        a payload dict) engages the resilient exchange: failed parties
+        are retried with metered request frames, seeded backoff accrues
+        on a simulated clock, and slow replies become metered timeouts.
+        ``quorum`` (int party count or float fraction) lets a round
+        proceed degraded when enough parties survive, imputing the
+        missing blocks via the ``degradation`` strategy
+        (:data:`~repro.resilience.DEGRADATIONS`). All ``None``/default
+        keeps the legacy fail-fast exchange bit-identical.
+    breaker:
+        Per-consumer circuit-breaker policy for the deployment's
+        :class:`~repro.serving.PredictionService` (a
+        :class:`~repro.resilience.BreakerPolicy`, an int failure
+        threshold, or a payload dict). Runtime failures trip the
+        breaker into refusing queries
+        (:class:`~repro.exceptions.ServiceUnavailableError`) until a
+        half-open probe succeeds. ``None`` disables breakers.
     """
     n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
     streams = spawn_rngs(seed, n_streams)
@@ -306,6 +357,9 @@ def build_scenario(
         vfl,
         scheduler=scheduler,
         faults=None if topology is None else topology.fault_plan(),
+        retry=retry,
+        quorum=quorum,
+        degradation=degradation,
     )
     _check_comm_budget(comm_budget)
     if comm_budget is not None:
@@ -338,6 +392,7 @@ def build_scenario(
         cache_size=cache_size,
         rng=defense_rng,
         exhaustion=on_budget_exhausted,
+        breaker=breaker,
     )
     try:
         V = service.query(picked, consumer=consumer, checkpoint=checkpoint)
@@ -407,6 +462,18 @@ class ScenarioConfig:
     sequential or threaded round execution (bit-identical either way).
     The defaults — two-block topology, no budget, sequential — reproduce
     the historical scenario bit-for-bit.
+
+    The resilience knobs make the deployment survive a fault storm
+    instead of aborting on it: ``retry`` (int attempts or a
+    :class:`~repro.resilience.RetryPolicy` payload dict) re-requests
+    failed parties with seeded backoff on a simulated clock, ``quorum``
+    (int party count or float fraction) lets rounds proceed degraded
+    with missing blocks imputed by the ``degradation`` strategy, and
+    ``breaker`` (int failure threshold or a policy dict) makes the
+    serving layer refuse a consumer's queries after consecutive runtime
+    failures instead of burning protocol rounds. All-``None``/default
+    resilience knobs leave every byte of the historical scenario
+    untouched.
     """
 
     dataset: str
@@ -429,6 +496,10 @@ class ScenarioConfig:
     topology: "TopologyConfig | None" = None
     comm_budget: "int | float | None" = None
     scheduler: str = "sequential"
+    retry: "int | dict | None" = None
+    quorum: "int | float | None" = None
+    degradation: str = "zero_fill"
+    breaker: "int | dict | None" = None
 
 
 @dataclass
@@ -462,6 +533,14 @@ class ScenarioReport:
         cost at the *protocol* boundary. Empty for reports whose
         scenario never ran a federation protocol (e.g. prebuilt legacy
         scenarios).
+    availability:
+        The runtime's
+        :meth:`~repro.federation.FederationRuntime.availability_report`:
+        degraded-round log plus retry/timeout counts and simulated
+        seconds. Empty whenever the resilient exchange never engaged
+        (no ``retry``/``quorum`` knob and no stochastic faults) — its
+        presence is itself the signal that the deployment weathered a
+        storm.
     """
 
     config: ScenarioConfig
@@ -470,6 +549,7 @@ class ScenarioReport:
     metrics: dict[str, Any]
     queries_used: int = 0
     comm_cost: dict[str, Any] = field(default_factory=dict)
+    availability: dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-paragraph human-readable digest (used by the examples)."""
@@ -526,10 +606,15 @@ class ScenarioReport:
                 ),
                 "comm_budget": config.comm_budget,
                 "scheduler": config.scheduler,
+                "retry": config.retry,
+                "quorum": config.quorum,
+                "degradation": config.degradation,
+                "breaker": config.breaker,
             },
             "metrics": self.metrics,
             "queries_used": self.queries_used,
             "comm_cost": dict(self.comm_cost),
+            "availability": dict(self.availability),
         }
 
     @classmethod
@@ -570,6 +655,12 @@ class ScenarioReport:
             ),
             comm_budget=data.get("comm_budget"),
             scheduler=data.get("scheduler", "sequential"),
+            # .get(): payloads persisted before the resilience layer
+            # existed carry none of these keys and mean the defaults.
+            retry=data.get("retry"),
+            quorum=data.get("quorum"),
+            degradation=data.get("degradation", "zero_fill"),
+            breaker=data.get("breaker"),
         )
         return cls(
             config=config,
@@ -578,6 +669,7 @@ class ScenarioReport:
             metrics=dict(payload["metrics"]),
             queries_used=int(payload["queries_used"]),
             comm_cost=dict(payload.get("comm_cost", {})),
+            availability=dict(payload.get("availability", {})),
         )
 
     def to_json(self) -> str:
@@ -698,6 +790,12 @@ def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStac
             f"{sorted(SCHEDULERS)}"
         )
     _check_comm_budget(config.comm_budget)
+    # from_spec raises with the exact malformed-field message; a quorum
+    # integer's upper bound waits for the built topology's party count.
+    RetryPolicy.from_spec(config.retry)
+    BreakerPolicy.from_spec(config.breaker)
+    _check_quorum_spec(config.quorum)
+    DEGRADATIONS.get(config.degradation)
     if config.topology is not None:
         config.topology.validate()
 
@@ -847,13 +945,17 @@ def run_scenario(
         or config.topology is not None
         or config.comm_budget is not None
         or config.scheduler != "sequential"
+        or config.retry is not None
+        or config.quorum is not None
+        or config.degradation != "zero_fill"
+        or config.breaker is not None
     ):
         raise ScenarioError(
             "serving and federation knobs (query_budget/batch_size/cache/"
-            "cache_size/on_budget_exhausted/topology/comm_budget/scheduler) "
-            "configure the deployment when the scenario is built and cannot "
-            "apply to a prebuilt scenario; set them on build_scenario (or on "
-            "its service) instead"
+            "cache_size/on_budget_exhausted/topology/comm_budget/scheduler/"
+            "retry/quorum/degradation/breaker) configure the deployment when "
+            "the scenario is built and cannot apply to a prebuilt scenario; "
+            "set them on build_scenario (or on its service) instead"
         )
 
     if scenario is None:
@@ -876,6 +978,10 @@ def run_scenario(
             comm_budget=config.comm_budget,
             scheduler=config.scheduler,
             checkpoint=serving_checkpoint,
+            retry=config.retry,
+            quorum=config.quorum,
+            degradation=config.degradation,
+            breaker=config.breaker,
         )
     attack.prepare(scenario, scale=scale, seed=config.seed)
     result = attack.run(scenario.X_adv, scenario.V)
@@ -888,6 +994,9 @@ def run_scenario(
     comm_cost = (
         scenario.runtime.ledger.as_dict() if scenario.runtime is not None else {}
     )
+    availability = (
+        scenario.runtime.availability_report() if scenario.runtime is not None else {}
+    )
     return ScenarioReport(
         config=config,
         scenario=scenario,
@@ -895,4 +1004,5 @@ def run_scenario(
         metrics=metrics,
         queries_used=queries_used,
         comm_cost=comm_cost,
+        availability=availability,
     )

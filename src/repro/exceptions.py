@@ -87,6 +87,41 @@ class PartyUnavailableError(ProtocolError):
     """
 
 
+class PartyTimeoutError(PartyUnavailableError):
+    """A party's reply exceeded the retry policy's per-attempt timeout.
+
+    Raised (and counted on the :class:`~repro.federation.CommLedger`)
+    by the resilient exchange when a ``timeout`` fault makes a reply's
+    simulated latency cross :attr:`~repro.resilience.RetryPolicy.timeout`.
+    A timed-out attempt is retried like any other failure; this error
+    surfaces only when every attempt of a round timed out and no quorum
+    policy allows degradation.
+    """
+
+
+class QuorumLostError(PartyUnavailableError):
+    """Too few parties survived a round for even degraded service.
+
+    Raised by the resilient exchange when retries are exhausted and the
+    surviving coalition is smaller than the configured ``quorum`` — the
+    round cannot be served even with imputed contributions. Subclasses
+    :class:`PartyUnavailableError` so callers that fail fast on dropped
+    parties today handle quorum loss without new catch sites.
+    """
+
+
+class ServiceUnavailableError(ReproError, RuntimeError):
+    """The serving layer refused a query instead of executing it.
+
+    Raised by :class:`~repro.serving.PredictionService` when a
+    consumer's circuit breaker is open (recent protocol rounds against
+    the federation runtime failed) or when the runtime failure that
+    tripped the breaker is being reported to the caller. A refusal is a
+    per-consumer serving decision, not a protocol error: the sharded
+    replay records it as a refusal and keeps serving other consumers.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A snapshot could not be written, read, or trusted.
 

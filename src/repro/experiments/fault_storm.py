@@ -1,0 +1,217 @@
+"""The ``fault_storm`` experiment: attack efficacy under degraded service.
+
+The paper evaluates every attack against a deployment that never fails;
+the resilience layer makes the opposite regime measurable. For each cell
+of fault rate × retry budget × quorum fraction, a 3-party deployment
+(bank/NN, the paper's GRNA flagship) serves the attacker's accumulation
+while both passive parties flake with the cell's probability, the
+runtime retries under the cell's attempt budget, and rounds missing a
+party either degrade (quorum met, ``last_known`` imputation) or abort
+the scenario. Each unit reports whether the accumulation survived at
+all, the attack MSE when it did, and the communication bill — bytes,
+retry frames, metered timeouts, degraded-round fraction — so the
+aggregate table answers two questions at once: *how much reconstruction
+accuracy does degraded service cost the attacker* (imputed blocks are
+noise in the adversary's view of ``V``), and *what does surviving a
+storm cost the deployment on the wire*.
+
+The zero-rate column runs the identical resilient code path (retry and
+quorum engaged, no faults to trigger them), so any cost delta against
+the storm columns is attributable to the storm, not the machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import ScenarioConfig, run_scenario
+from repro.config import ScaleConfig, get_scale
+from repro.exceptions import PartyUnavailableError
+from repro.experiments.figures import _run_serial
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import (
+    ExperimentSpec,
+    TrialSpec,
+    derive_trial_seeds,
+    group_payloads as _group_by,
+    register_experiment,
+)
+from repro.federation import TopologyConfig
+
+__all__ = [
+    "fault_storm_units",
+    "fault_storm_run_unit",
+    "fault_storm_aggregate",
+    "fault_storm_sweep",
+]
+
+#: Per-attempt failure probability of each passive party.
+STORM_RATES = (0.0, 0.15, 0.3)
+
+#: Retry attempt budgets (1 = the fail-fast baseline with metering on).
+STORM_RETRIES = (1, 3)
+
+#: Quorum fractions of the 3-party deployment: 2/3 needs one passive
+#: party alive, 1/3 lets the active party answer entirely from imputation.
+STORM_QUORUMS = (2 / 3, 1 / 3)
+
+#: Deployment shape: dataset, model, attack, party count, serving batch.
+STORM_DATASET = "bank"
+STORM_MODEL = "nn"
+STORM_ATTACK = "grna"
+N_PARTIES = 3
+STORM_BATCH = 16
+
+
+def fault_storm_units(
+    scale: "str | ScaleConfig",
+    *,
+    rates: tuple = STORM_RATES,
+    retries: tuple = STORM_RETRIES,
+    quorums: tuple = STORM_QUORUMS,
+    seed: int = 29,
+) -> list[TrialSpec]:
+    """One unit per (fault rate, retry budget, quorum, trial) cell."""
+    scale = get_scale(scale)
+    trial_seeds = derive_trial_seeds(seed, scale.n_trials)
+    return [
+        TrialSpec.make(
+            "fault_storm",
+            f"r{round(rate * 100)}:a{budget}:q{round(quorum * 100)}:t{t}",
+            trial_seed,
+            rate=rate,
+            retries=budget,
+            quorum=quorum,
+        )
+        for rate in rates
+        for budget in retries
+        for quorum in quorums
+        for t, trial_seed in enumerate(trial_seeds)
+    ]
+
+
+def fault_storm_run_unit(spec: TrialSpec, scale: ScaleConfig) -> dict:
+    """Run one storm cell end to end; report survival, MSE, and the bill."""
+    params = spec.kwargs
+    rate = float(params["rate"])
+    fault_seeds = derive_trial_seeds(spec.seed, N_PARTIES - 1)
+    faults = tuple(
+        ("flaky", {"party": party, "p": rate, "seed": fault_seeds[party - 1]})
+        for party in range(1, N_PARTIES)
+        if rate > 0.0
+    )
+    config = ScenarioConfig(
+        dataset=STORM_DATASET,
+        model=STORM_MODEL,
+        attack=STORM_ATTACK,
+        scale=scale,
+        seed=spec.seed,
+        topology=TopologyConfig(n_parties=N_PARTIES, faults=faults),
+        batch_size=STORM_BATCH,
+        retry=int(params["retries"]),
+        quorum=float(params["quorum"]),
+        degradation="last_known",
+    )
+    try:
+        report = run_scenario(config)
+    except PartyUnavailableError as exc:
+        # Below quorum even after the retry budget: the scenario aborts
+        # and the cell records a service failure instead of an MSE.
+        return {"failed": True, "reason": type(exc).__name__}
+    availability = report.availability
+    rounds_total = max(1, int(availability["rounds_total"]))
+    return {
+        "failed": False,
+        "mse": float(report.metrics["mse"]),
+        "bytes": int(report.comm_cost["bytes"]),
+        "retries": int(report.comm_cost["retries"]),
+        "timeouts": int(report.comm_cost["timeouts"]),
+        "rounds_total": rounds_total,
+        "rounds_degraded": int(availability["rounds_degraded"]),
+    }
+
+
+def fault_storm_aggregate(
+    scale: "str | ScaleConfig",
+    units: list[TrialSpec],
+    results: dict[str, dict],
+    *,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Fold trials into the per-(rate, retries, quorum) resilience table."""
+    scale = get_scale(scale)
+    rows = []
+    for (rate, budget, quorum), payloads in _group_by(
+        units, results, "rate", "retries", "quorum"
+    ).items():
+        survived = [p for p in payloads if not p["failed"]]
+        rows.append(
+            (
+                float(rate),
+                int(budget),
+                round(float(quorum), 4),
+                float(np.mean([p["failed"] for p in payloads])),
+                (
+                    float(np.mean([p["mse"] for p in survived]))
+                    if survived
+                    else float("nan")
+                ),
+                (
+                    float(np.mean([p["bytes"] for p in survived]))
+                    if survived
+                    else float("nan")
+                ),
+                int(sum(p["retries"] for p in survived)),
+                int(sum(p["timeouts"] for p in survived)),
+                (
+                    float(
+                        np.mean(
+                            [p["rounds_degraded"] / p["rounds_total"] for p in survived]
+                        )
+                    )
+                    if survived
+                    else float("nan")
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fault_storm",
+        title=f"Fault storm: {STORM_ATTACK} on {STORM_MODEL}/{STORM_DATASET} "
+        f"({N_PARTIES} parties) vs fault rate × retry budget × quorum",
+        columns=[
+            "fault_rate",
+            "retry_budget",
+            "quorum",
+            "failure_rate",
+            "mse",
+            "comm_bytes",
+            "retries",
+            "timeouts",
+            "degraded_fraction",
+        ],
+        rows=rows,
+        meta={"scale": scale.name, "trials": scale.n_trials, "seed": seed},
+    )
+
+
+def fault_storm_sweep(
+    scale: "str | ScaleConfig" = "default",
+    *,
+    rates: tuple = STORM_RATES,
+    retries: tuple = STORM_RETRIES,
+    quorums: tuple = STORM_QUORUMS,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Attack MSE and comm cost across the storm grid."""
+    scale = get_scale(scale)
+    units = fault_storm_units(
+        scale, rates=rates, retries=retries, quorums=quorums, seed=seed
+    )
+    return _run_serial(units, fault_storm_run_unit, fault_storm_aggregate, scale, seed=seed)
+
+
+register_experiment(
+    ExperimentSpec(
+        "fault_storm", fault_storm_units, fault_storm_run_unit, fault_storm_aggregate
+    )
+)

@@ -25,7 +25,7 @@ import sys
 from typing import Callable
 
 from repro.exceptions import ValidationError
-from repro.experiments import figures, tables, traffic
+from repro.experiments import fault_storm, figures, tables, traffic
 from repro.experiments.batch import run_batch
 from repro.config import PRESETS
 from repro.experiments.reporting import ExperimentResult
@@ -46,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "budget": figures.budget_sweep,
     "comm": figures.comm_sweep,
     "traffic": traffic.traffic_sweep,
+    "fault_storm": fault_storm.fault_storm_sweep,
 }
 
 

@@ -123,6 +123,7 @@ def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
 
 def _ensure_registered() -> None:
     """Import the modules whose import side-effect fills the registry."""
+    import repro.experiments.fault_storm  # noqa: F401
     import repro.experiments.figures  # noqa: F401
     import repro.experiments.tables  # noqa: F401
     import repro.experiments.traffic  # noqa: F401

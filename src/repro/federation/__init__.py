@@ -18,12 +18,16 @@ message-passing:
   as request/reply rounds;
 - :mod:`~repro.federation.scheduler` — sequential (reference) and
   threaded (deterministic-barrier) round execution, bit-identical;
-- :mod:`~repro.federation.faults` — dropped parties and stragglers as
-  injectable round behaviour;
+- :mod:`~repro.federation.faults` — dropped parties, stragglers, and
+  the seeded stochastic storm kinds (``flaky``/``crash_after``/
+  ``corrupt``/``timeout``) as injectable round behaviour;
 - :mod:`~repro.federation.runtime` — :class:`FederationRuntime`, the
   façade the serving layer drives: ``predict`` is byte-identical to
   :meth:`~repro.federated.model.VerticalFLModel.predict` while every
-  transferred float lands in the ledger;
+  transferred float lands in the ledger; with ``retry``/``quorum``
+  knobs it runs the *resilient exchange* — retry waves on a simulated
+  clock, metered timeouts, and quorum-degraded rounds with imputed
+  blocks (see :mod:`repro.resilience`);
 - :mod:`~repro.federation.topology` — :class:`TopologyConfig`, the
   declarative N-party/colluder/partition-strategy/fault knob consumed by
   :class:`~repro.api.ScenarioConfig`.
@@ -37,7 +41,13 @@ message-passing:
     print(runtime.ledger.as_dict()["bytes"])   # exact wire traffic
 """
 
-from repro.exceptions import CommBudgetExceededError, PartyUnavailableError, WireFormatError
+from repro.exceptions import (
+    CommBudgetExceededError,
+    PartyTimeoutError,
+    PartyUnavailableError,
+    QuorumLostError,
+    WireFormatError,
+)
 from repro.federation.faults import FAULT_KINDS, FaultPlan
 from repro.federation.ledger import CommLedger
 from repro.federation.message import (
@@ -74,6 +84,8 @@ __all__ = [
     "CommBudgetExceededError",
     "WireFormatError",
     "PartyUnavailableError",
+    "PartyTimeoutError",
+    "QuorumLostError",
     "PartyNode",
     "ActivePartyNode",
     "PassivePartyNode",

@@ -1,23 +1,41 @@
 """Fault injection for federation protocol rounds.
 
 Real multi-party deployments lose parties and wait on stragglers; the
-in-process simulation can now express both. A :class:`FaultPlan` is
-built from ``(kind, params)`` specs — the same shape as defense specs,
-so scenario configs serialize them — and handed to the
+in-process simulation can now express both — plus the *stochastic*
+storm kinds the resilience layer retries against. A :class:`FaultPlan`
+is built from ``(kind, params)`` specs — the same shape as defense
+specs, so scenario configs serialize them — and handed to the
 :class:`~repro.federation.runtime.FederationRuntime`, whose party nodes
 consult it at response time:
 
 ``("drop", {"party": p})``
     Party ``p`` never answers; the round fails with
     :class:`~repro.exceptions.PartyUnavailableError` naming the party
-    and round.
+    and round (or degrades, under a quorum policy).
 ``("straggler", {"party": p, "delay": seconds})``
     Party ``p`` sleeps before responding. Under the threaded scheduler
     the other parties proceed concurrently and the deterministic round
     barrier still merges replies in party order, so a straggler costs
     wall-clock time but never changes bytes or results.
+``("flaky", {"party": p, "p": prob, "seed": s})``
+    Each attempt by party ``p`` fails independently with probability
+    ``prob``; a retry may succeed. Decisions come from the chaos
+    engine's pure per-cell streams, so they are scheduler-independent.
+``("crash_after", {"party": p, "round": r})``
+    Party ``p`` answers rounds ``0..r-1`` then permanently crashes —
+    retrying is pointless and the resilient exchange knows it.
+``("corrupt", {"party": p, "p": prob, "seed": s})``
+    With probability ``prob`` the reply frame is bit-flipped in flight;
+    the wire codec's crc32 catches it and the attempt counts as failed.
+``("timeout", {"party": p, "delay": seconds, "p": prob, "seed": s})``
+    With probability ``prob`` (default 1) the reply takes ``delay``
+    *simulated* seconds; against a retry policy's per-attempt timeout
+    that becomes a metered timeout failure.
 
-Unknown kinds fail with an error listing the registered choices.
+Unknown kinds fail with an error listing the registered choices, and a
+party may carry at most one spec — two specs for the same party would
+silently shadow each other, so :meth:`FaultPlan.from_specs` rejects the
+duplicate naming both.
 """
 
 from __future__ import annotations
@@ -25,30 +43,73 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ValidationError
+from repro.resilience.chaos import OK, FaultOutcome, decision_rng
 from repro.utils.validation import check_in_range
 
 __all__ = ["FAULT_KINDS", "FaultPlan"]
 
 #: Registered fault kinds and the params each spec accepts.
-FAULT_KINDS = ("drop", "straggler")
+FAULT_KINDS = ("drop", "straggler", "flaky", "crash_after", "corrupt", "timeout")
+
+#: Kinds whose per-attempt behaviour the chaos engine decides.
+STOCHASTIC_KINDS = ("flaky", "crash_after", "corrupt", "timeout")
+
+
+def _check_probability(params: dict, kind: str, default: "float | None" = None) -> float:
+    if "p" not in params and default is not None:
+        return float(default)
+    if "p" not in params:
+        raise ValidationError(f"fault spec {kind!r} needs a probability 'p'")
+    p = float(params["p"])
+    if not 0.0 <= p <= 1.0:
+        raise ValidationError(
+            f"fault {kind!r} probability must lie in [0, 1], got {p}"
+        )
+    return p
+
+
+def _check_seed(params: dict, kind: str) -> int:
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ValidationError(
+            f"fault {kind!r} seed must be a non-negative int, got {seed!r}"
+        )
+    return seed
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """Resolved fault injection: which parties drop, which ones lag."""
+    """Resolved fault injection: drops, stragglers, and stochastic storms.
+
+    Attributes
+    ----------
+    dropped:
+        Parties that never answer (deterministic, permanent).
+    delays:
+        Per-party straggler sleep in wall-clock seconds.
+    stochastic:
+        Per-party ``(kind, normalized_params)`` for the chaos-driven
+        kinds; :meth:`outcome` turns an entry into the
+        :class:`~repro.resilience.FaultOutcome` for one attempt.
+    """
 
     dropped: frozenset = frozenset()
     delays: dict = field(default_factory=dict)
+    stochastic: dict = field(default_factory=dict)
 
     @classmethod
     def from_specs(cls, specs) -> "FaultPlan":
         """Build a plan from ``(kind, params)`` spec pairs.
 
         Every kind needs at least a ``party`` parameter, so — unlike
-        defense specs — there is no bare-kind shorthand.
+        defense specs — there is no bare-kind shorthand. Each party may
+        carry at most one spec; a duplicate is rejected naming both
+        specs rather than silently overwriting the first.
         """
         dropped: set[int] = set()
         delays: dict[int, float] = {}
+        stochastic: dict[int, tuple[str, dict]] = {}
+        claimed: dict[int, tuple] = {}
         for spec in specs:
             if isinstance(spec, (tuple, list)) and len(spec) == 2:
                 kind, params = spec[0], dict(spec[1])
@@ -66,19 +127,100 @@ class FaultPlan:
                     f"fault spec {kind!r} needs a 'party' id to inject into"
                 )
             party = int(params["party"])
+            if party in claimed:
+                raise ValidationError(
+                    f"party {party} already carries fault spec "
+                    f"{claimed[party]!r}; duplicate spec {(kind, params)!r} "
+                    "would silently shadow it — give each party one fault"
+                )
+            claimed[party] = (kind, params)
             if kind == "drop":
                 dropped.add(party)
-            else:
+            elif kind == "straggler":
                 delay = check_in_range(
                     float(params.get("delay", 0.001)), name="straggler delay", low=0.0
                 )
                 delays[party] = delay
-        return cls(dropped=frozenset(dropped), delays=delays)
+            elif kind == "flaky":
+                stochastic[party] = (
+                    "flaky",
+                    {"p": _check_probability(params, kind),
+                     "seed": _check_seed(params, kind)},
+                )
+            elif kind == "crash_after":
+                if "round" not in params:
+                    raise ValidationError(
+                        "fault spec 'crash_after' needs the 'round' the party "
+                        "crashes at"
+                    )
+                round_at = int(params["round"])
+                if round_at < 0:
+                    raise ValidationError(
+                        f"crash_after round must be >= 0, got {round_at}"
+                    )
+                stochastic[party] = ("crash_after", {"round": round_at})
+            elif kind == "corrupt":
+                stochastic[party] = (
+                    "corrupt",
+                    {"p": _check_probability(params, kind),
+                     "seed": _check_seed(params, kind)},
+                )
+            else:  # timeout
+                delay = float(params.get("delay", 0.0))
+                if delay <= 0.0:
+                    raise ValidationError(
+                        "fault spec 'timeout' needs a positive simulated "
+                        f"'delay' in seconds, got {delay}"
+                    )
+                stochastic[party] = (
+                    "timeout",
+                    {"p": _check_probability(params, kind, default=1.0),
+                     "delay": delay,
+                     "seed": _check_seed(params, kind)},
+                )
+        return cls(dropped=frozenset(dropped), delays=delays, stochastic=stochastic)
 
     @property
     def is_noop(self) -> bool:
         """True when the plan injects nothing."""
-        return not self.dropped and not self.delays
+        return not self.dropped and not self.delays and not self.stochastic
+
+    @property
+    def has_stochastic(self) -> bool:
+        """True when any party carries a chaos-driven fault kind."""
+        return bool(self.stochastic)
+
+    def outcome(self, party: int, round_id: int, attempt: int) -> FaultOutcome:
+        """The chaos decision for one ``(party, round, attempt)`` cell.
+
+        Pure in its arguments (see :mod:`repro.resilience.chaos`): the
+        runtime and the party node can both evaluate it and agree, and
+        an offline auditor can recompute an entire storm analytically —
+        which is exactly what ``benchmarks/bench_resilience.py`` gates.
+        """
+        if party in self.dropped:
+            return FaultOutcome(kind="drop")
+        entry = self.stochastic.get(party)
+        if entry is None:
+            return OK
+        kind, params = entry
+        if kind == "crash_after":
+            return FaultOutcome(kind="crash") if round_id >= params["round"] else OK
+        rng = decision_rng(params["seed"], party, round_id, attempt)
+        if kind == "flaky":
+            return FaultOutcome(kind="flaky") if rng.random() < params["p"] else OK
+        if kind == "corrupt":
+            if rng.random() < params["p"]:
+                return FaultOutcome(
+                    kind="corrupt", token=int(rng.integers(0, 2**63 - 1))
+                )
+            return OK
+        # timeout: the reply arrives, just late; whether late is *too*
+        # late belongs to the retry policy, so the outcome only carries
+        # the latency.
+        if rng.random() < params["p"]:
+            return FaultOutcome(kind="timeout", latency=params["delay"])
+        return OK
 
     def validate_parties(self, n_parties: int) -> None:
         """Check every referenced party id names a *passive* party.
@@ -86,7 +228,7 @@ class FaultPlan:
         Party 0 initiates rounds, so dropping or delaying it is a
         mis-specification, not a simulable fault.
         """
-        for party in sorted({*self.dropped, *self.delays}):
+        for party in sorted({*self.dropped, *self.delays, *self.stochastic}):
             if party == 0:
                 raise ValidationError(
                     "cannot inject faults into party 0: the active party "

@@ -54,6 +54,8 @@ class CommLedger:
         self.message_budget = _check_budget(message_budget, "message_budget")
         self._edges: dict[tuple[int, int], dict[str, int]] = {}
         self._rounds = 0
+        self._retries = 0
+        self._timeouts = 0
 
     # ------------------------------------------------------------------
     # Metering
@@ -72,6 +74,21 @@ class CommLedger:
     def rounds(self) -> int:
         """Protocol rounds started so far."""
         return self._rounds
+
+    @property
+    def retries(self) -> int:
+        """Retry attempts issued by the resilient exchange.
+
+        Each retried party per wave counts once; the retried request
+        frames themselves are charged like any other traffic, so retry
+        cost shows up in *both* bytes and this counter.
+        """
+        return self._retries
+
+    @property
+    def timeouts(self) -> int:
+        """Reply attempts discarded for exceeding the per-attempt timeout."""
+        return self._timeouts
 
     def edge(self, sender: int, receiver: int) -> dict[str, int]:
         """``{"messages": n, "bytes": b}`` for one directed edge."""
@@ -92,6 +109,18 @@ class CommLedger:
         round_id = self._rounds
         self._rounds += 1
         return round_id
+
+    def record_retries(self, n: int) -> None:
+        """Count ``n`` retry attempts (one per retried party per wave)."""
+        if n < 1:
+            raise ValidationError(f"retry count must be >= 1, got {n}")
+        self._retries += int(n)
+
+    def record_timeouts(self, n: int) -> None:
+        """Count ``n`` timed-out reply attempts."""
+        if n < 1:
+            raise ValidationError(f"timeout count must be >= 1, got {n}")
+        self._timeouts += int(n)
 
     def charge(self, sender: int, receiver: int, nbytes: int) -> None:
         """Charge one ``nbytes``-sized message to the edge, or raise.
@@ -131,6 +160,8 @@ class CommLedger:
             "bytes": self.total_bytes,
             "messages": self.total_messages,
             "rounds": self.rounds,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "edges": {
                 f"{sender}->{receiver}": dict(stats)
                 for (sender, receiver), stats in sorted(self._edges.items())

@@ -11,13 +11,18 @@ communication budgets can be planned without executing a protocol.
 The wire format is deliberately simple and versioned::
 
     magic(4s) version(u16) sender(i16) receiver(i16) round(u32)
-    kind_len(u8) dtype_len(u8) ndim(u8)
+    kind_len(u8) dtype_len(u8) ndim(u8) crc32(u32)
     kind(utf-8) dtype(numpy dtype str) shape(ndim × i64) payload bytes
 
-Decoding rejects bad magic, truncated frames, and unknown header
-versions with :class:`~repro.exceptions.WireFormatError` — a replayed
-frame from an incompatible build fails with a diagnosis rather than a
-garbled array. Numeric payloads round-trip bit-exactly (``tobytes`` /
+Decoding rejects bad magic, truncated frames, unknown header versions,
+and checksum mismatches with :class:`~repro.exceptions.WireFormatError`
+— a replayed frame from an incompatible build fails with a diagnosis
+rather than a garbled array. Version 2 added the ``crc32`` field
+(computed over every other byte of the frame): an in-flight bit flip —
+the ``corrupt`` fault kind injects exactly that — is *always detected*,
+because a flip the structural checks happen to tolerate (e.g. inside
+the payload bytes) would otherwise decode into silently different
+floats and break the bit-identity contract downstream. Numeric payloads round-trip bit-exactly (``tobytes`` /
 ``frombuffer`` of the same dtype), which is what lets the runtime's
 protocol outputs stay byte-identical to the in-process
 :meth:`~repro.federated.model.VerticalFLModel.predict` path.
@@ -26,6 +31,7 @@ protocol outputs stay byte-identical to the in-process
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,10 +44,15 @@ __all__ = ["Message", "WIRE_VERSION", "decode_message", "encode_message", "encod
 MAGIC = b"RFED"
 
 #: Current header version; :func:`decode_message` rejects all others.
-WIRE_VERSION = 1
+#: Version 2 added the crc32 integrity field after the fixed header.
+WIRE_VERSION = 2
 
 #: Fixed-width header prefix (little-endian, see module docstring).
 _HEADER = struct.Struct("<4sHhhIBBB")
+
+#: Frame checksum (crc32 of every byte except these four), right after
+#: the fixed header — any in-flight bit flip fails decode loudly.
+_CRC = struct.Struct("<I")
 
 #: Per-dimension shape entry appended after the variable-length strings.
 _DIM = struct.Struct("<q")
@@ -123,6 +134,7 @@ def encoded_size(kind: str, dtype, shape: tuple[int, ...]) -> int:
         n_items *= int(dim)
     return (
         _HEADER.size
+        + _CRC.size
         + len(kind_bytes)
         + len(dtype_bytes)
         + _DIM.size * len(shape)
@@ -150,7 +162,9 @@ def encode_message(message: Message) -> bytes:
         payload.ndim,
     )
     dims = b"".join(_DIM.pack(dim) for dim in payload.shape)
-    return header + kind_bytes + dtype_bytes + dims + payload.tobytes()
+    body = kind_bytes + dtype_bytes + dims + payload.tobytes()
+    crc = zlib.crc32(body, zlib.crc32(header))
+    return header + _CRC.pack(crc) + body
 
 
 def decode_message(data: bytes) -> Message:
@@ -171,13 +185,14 @@ def decode_message(data: bytes) -> Message:
             f"unsupported wire version {version}; this build speaks only "
             f"version {WIRE_VERSION}"
         )
-    meta_end = _HEADER.size + kind_len + dtype_len + ndim * _DIM.size
+    meta_end = _HEADER.size + _CRC.size + kind_len + dtype_len + ndim * _DIM.size
     if len(data) < meta_end:
         raise WireFormatError(
             f"truncated frame: {len(data)} bytes, the header metadata "
             f"declares {meta_end}"
         )
-    offset = _HEADER.size
+    (declared_crc,) = _CRC.unpack_from(data, _HEADER.size)
+    offset = _HEADER.size + _CRC.size
     try:
         kind = data[offset : offset + kind_len].decode("utf-8")
         offset += kind_len
@@ -212,6 +227,17 @@ def decode_message(data: bytes) -> Message:
         raise WireFormatError(
             f"frame length {len(data)} != {expected} declared by the header "
             f"(kind={kind!r}, dtype={dtype.str}, shape={shape})"
+        )
+    # Integrity last: structural diagnoses above are more precise, and
+    # a flip they tolerate (payload bytes, shape that still fits) lands
+    # here rather than decoding into silently different values.
+    actual_crc = zlib.crc32(
+        data[_HEADER.size + _CRC.size :], zlib.crc32(data[: _HEADER.size])
+    )
+    if actual_crc != declared_crc:
+        raise WireFormatError(
+            f"corrupted frame: checksum mismatch (declared {declared_crc:#010x}, "
+            f"computed {actual_crc:#010x}); the frame was altered in flight"
         )
     payload = np.frombuffer(data, dtype=dtype, count=n_items, offset=offset)
     return Message(

@@ -67,14 +67,15 @@ class PartyNode:
 class PassivePartyNode(PartyNode):
     """A feature-contributing party's protocol behaviour."""
 
-    def respond(self) -> Message:
+    def respond(self, attempt: int = 0) -> Message:
         """Answer the oldest pending request with this party's block.
 
         The unit of work a scheduler runs on its own thread: pop the
         request from this node's inbox, honour any injected fault, gather
         the local columns, and return the reply message for the runtime
-        to send. Only this node's own state is touched, which is what
-        makes the threaded scheduler race-free.
+        to send. Only this node's own state is touched — the stochastic
+        fault decision for ``(party, round, attempt)`` is a pure chaos
+        function — which is what makes the threaded scheduler race-free.
         """
         request = self.transport.receive(self.party_id)
         if request.kind not in _REQUEST_TO_REPLY:
@@ -88,6 +89,21 @@ class PassivePartyNode(PartyNode):
                 f"{request.round_id}; the {request.kind!r} request has no "
                 "responder"
             )
+        outcome = self.faults.outcome(self.party_id, request.round_id, attempt)
+        if outcome.kind == "crash":
+            raise PartyUnavailableError(
+                f"party {self.party_id} crashed before round "
+                f"{request.round_id}; it will not answer this or any later "
+                "round"
+            )
+        if outcome.kind == "flaky":
+            raise PartyUnavailableError(
+                f"party {self.party_id} failed attempt {attempt} of round "
+                f"{request.round_id} (flaky); a retry may succeed"
+            )
+        # "corrupt" and "timeout" outcomes still produce the reply: the
+        # runtime (which recomputes the same pure outcome) flips the
+        # frame in flight / accounts the simulated latency.
         delay = self.faults.delays.get(self.party_id)
         if delay:
             time.sleep(delay)

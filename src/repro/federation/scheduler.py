@@ -17,7 +17,7 @@ registries.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as wait_futures
 from typing import Callable, Sequence
 
 from repro.exceptions import ValidationError
@@ -77,7 +77,20 @@ class ThreadedScheduler(RoundScheduler):
         futures = [self._pool.submit(task) for task in tasks]
         # The barrier: every future joins before any result is used, in
         # party order, so completion order never leaks into the protocol.
-        return [future.result() for future in futures]
+        # If an early future raises (a dropped party), the later ones must
+        # not leak: cancel what has not started and join what has, or a
+        # straggler task could outlive the round — and the pool's
+        # shutdown(wait=True) would block on it.
+        results = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            wait_futures(futures)
+            raise
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

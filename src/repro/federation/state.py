@@ -27,13 +27,22 @@ class CommLedgerCodec(StateCodec):
 
     kind = "federation/ledger"
     target = CommLedger
-    state_fields = ("byte_budget", "message_budget", "_edges", "_rounds")
+    state_fields = (
+        "byte_budget",
+        "message_budget",
+        "_edges",
+        "_rounds",
+        "_retries",
+        "_timeouts",
+    )
 
     def capture(self, obj: Any) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
         meta = {
             "byte_budget": obj.byte_budget,
             "message_budget": obj.message_budget,
             "rounds": obj._rounds,
+            "retries": obj._retries,
+            "timeouts": obj._timeouts,
             "edges": [
                 [sender, receiver, stats["messages"], stats["bytes"]]
                 for (sender, receiver), stats in obj._edges.items()
@@ -47,6 +56,10 @@ class CommLedgerCodec(StateCodec):
         obj.byte_budget = meta["byte_budget"]
         obj.message_budget = meta["message_budget"]
         obj._rounds = int(meta["rounds"])
+        # .get: snapshots written before the resilience layer lack the
+        # retry/timeout counters — they resume with zero of each.
+        obj._retries = int(meta.get("retries", 0))
+        obj._timeouts = int(meta.get("timeouts", 0))
         obj._edges = {
             (int(sender), int(receiver)): {"messages": int(m), "bytes": int(b)}
             for sender, receiver, m, b in meta["edges"]

@@ -79,6 +79,35 @@ class Transport:
         )
         return len(data)
 
+    def send_raw(
+        self, data: bytes, *, sender: int, receiver: int, kind: str, round_id: int
+    ) -> int:
+        """Meter and deliver pre-encoded (possibly corrupted) frame bytes.
+
+        The ``corrupt`` fault kind flips a bit *after* encoding; the
+        damaged frame still crosses the wire, so it is charged and
+        audit-logged exactly like a healthy send — the receiver's decode
+        is where the corruption surfaces (as a
+        :class:`~repro.exceptions.WireFormatError` checksum failure).
+        """
+        if int(sender) == int(receiver):
+            raise ProtocolError(
+                f"party {sender} attempted to send itself a message; "
+                "local values do not cross the transport"
+            )
+        self.ledger.charge(int(sender), int(receiver), len(data))
+        self._inboxes.setdefault(int(receiver), deque()).append(bytes(data))
+        self.delivery_log.append(
+            DeliveryRecord(
+                sender=int(sender),
+                receiver=int(receiver),
+                kind=kind,
+                nbytes=len(data),
+                round_id=int(round_id),
+            )
+        )
+        return len(data)
+
     def receive(self, party_id: int) -> Message:
         """Pop and decode the oldest frame addressed to ``party_id``."""
         inbox = self._inboxes.get(int(party_id))

@@ -73,11 +73,14 @@ from repro.defenses.base import unwrap_model
 from repro.exceptions import (
     CheckpointError,
     CommBudgetExceededError,
+    PartyUnavailableError,
     ProtocolError,
+    ServiceUnavailableError,
     ValidationError,
 )
 from repro.federated.model import VerticalFLModel
 from repro.models.base import BaseClassifier
+from repro.resilience import BreakerPolicy, CircuitBreaker
 from repro.serving.cache import ResponseCache
 from repro.serving.ledger import QueryLedger
 from repro.utils.validation import check_positive_int
@@ -168,6 +171,16 @@ class PredictionService:
     exhaustion:
         ``"raise"`` fails a request that would cross the budget;
         ``"truncate"`` serves the prefix that fits and stops.
+    breaker:
+        Per-consumer circuit breaking: a
+        :class:`~repro.resilience.BreakerPolicy`, an int failure
+        threshold, a policy payload dict, or ``None`` (default, no
+        breaking — identical to prior behaviour). With a policy, a
+        consumer whose queries keep failing against the federation
+        runtime gets :class:`~repro.exceptions.ServiceUnavailableError`
+        refusals instead of spending protocol rounds, with half-open
+        probes after the cooldown (see
+        :class:`~repro.resilience.CircuitBreaker`).
     """
 
     def __init__(
@@ -183,6 +196,7 @@ class PredictionService:
         cache_scope: str = "shared",
         rng: "np.random.Generator | None" = None,
         exhaustion: str = "raise",
+        breaker: "BreakerPolicy | int | dict | None" = None,
         runtime=None,
     ) -> None:
         if ledger is not None and query_budget is not None:
@@ -221,6 +235,8 @@ class PredictionService:
         self._caches: "dict[str, ResponseCache] | None" = {} if cache else None
         self.rng = rng
         self.exhaustion = exhaustion
+        self.breaker_policy = BreakerPolicy.from_spec(breaker)
+        self._breakers: dict[str, CircuitBreaker] = {}
         # Fingerprint chunks once, here, when any stacked defense consumes
         # hashes (e.g. query_audit) — not once per defense per chunk.
         self._wants_hashes = defense_stack is not None and any(
@@ -306,10 +322,55 @@ class PredictionService:
         an uninterrupted one. Checkpointing refuses a non-empty defense
         stack: per-defense tallies are not snapshotted, and silently
         dropping them would break the contract.
+
+        With a ``breaker`` policy, the request is first gated by the
+        consumer's circuit breaker: an open breaker refuses with
+        :class:`~repro.exceptions.ServiceUnavailableError` before any
+        protocol round runs, and a runtime failure
+        (:class:`~repro.exceptions.PartyUnavailableError` and
+        subclasses) is recorded on the breaker and re-raised as the same
+        serving-level refusal — callers see one exception type for
+        "this consumer is not being served right now".
         """
         indices = np.asarray(sample_indices, dtype=np.int64).ravel()
         if indices.size == 0:
             raise ProtocolError("prediction request with no sample ids")
+        if self.breaker_policy is None:
+            return self._query_dispatch(indices, consumer, checkpoint)
+        breaker = self._breaker_for(consumer)
+        if not breaker.allow():
+            raise ServiceUnavailableError(
+                f"circuit breaker for consumer {consumer!r} is open after "
+                f"{breaker.failures} consecutive runtime failure(s); "
+                f"{breaker.cooldown_left} more refusal(s) before a half-open "
+                "probe is allowed"
+            )
+        try:
+            result = self._query_dispatch(indices, consumer, checkpoint)
+        except PartyUnavailableError as exc:
+            breaker.record_failure()
+            raise ServiceUnavailableError(
+                f"query for consumer {consumer!r} failed against the "
+                f"federation runtime ({exc}); the circuit breaker is now "
+                f"{breaker.state!r}"
+            ) from exc
+        breaker.record_success()
+        return result
+
+    def _breaker_for(self, consumer: str) -> CircuitBreaker:
+        """The (lazily created) breaker gating ``consumer``'s queries."""
+        breaker = self._breakers.get(consumer)
+        if breaker is None:
+            breaker = self._breakers[consumer] = CircuitBreaker(self.breaker_policy)
+        return breaker
+
+    def _query_dispatch(
+        self,
+        indices: np.ndarray,
+        consumer: str,
+        checkpoint: "CheckpointPlan | None",
+    ) -> np.ndarray:
+        """The pre-breaker query body: batching, metering, caching."""
         if checkpoint is not None:
             return self._query_checkpointed(indices, consumer, checkpoint)
         blocks: list[np.ndarray] = []
@@ -339,19 +400,24 @@ class PredictionService:
     # ------------------------------------------------------------------
     def _query_fingerprint(self, indices: np.ndarray, consumer: str) -> str:
         """Bind snapshots to this exact request against this deployment."""
+        serving = {
+            "n_samples": self.n_samples,
+            "n_classes": self.n_classes,
+            "max_batch": self.max_batch,
+            "cache": self.cache_enabled,
+            "cache_size": self.cache_size,
+            "cache_scope": self.cache_scope,
+            "exhaustion": self.exhaustion,
+            "budget": self.ledger.budget,
+            "consumer_budgets": dict(self.ledger.consumer_budgets),
+        }
+        # Only when enabled, so breaker-free fingerprints stay byte-
+        # identical to snapshots written before the resilience layer.
+        if self.breaker_policy is not None:
+            serving["breaker"] = self.breaker_policy.to_payload()
         return content_fingerprint(
             {
-                "serving": {
-                    "n_samples": self.n_samples,
-                    "n_classes": self.n_classes,
-                    "max_batch": self.max_batch,
-                    "cache": self.cache_enabled,
-                    "cache_size": self.cache_size,
-                    "cache_scope": self.cache_scope,
-                    "exhaustion": self.exhaustion,
-                    "budget": self.ledger.budget,
-                    "consumer_budgets": dict(self.ledger.consumer_budgets),
-                },
+                "serving": serving,
                 "consumer": consumer,
                 "indices": indices,
             }
@@ -372,8 +438,13 @@ class PredictionService:
                 fragments[f"cache:{key}"] = capture_state(cache)
         if self.runtime is not None:
             fragments["comm"] = capture_state(self.runtime.ledger)
+            if self.runtime.resilience is not None:
+                fragments["resilience"] = capture_state(self.runtime.resilience)
         if self.rng is not None:
             fragments["rng"] = capture_state(self.rng)
+        if self.breaker_policy is not None:
+            for name, breaker in self._breakers.items():
+                fragments[f"breaker:{name}"] = capture_state(breaker)
         return fragments
 
     def restore_serving_fragments(self, fragments: dict) -> None:
@@ -403,6 +474,24 @@ class PredictionService:
                     "has no runtime attached"
                 )
             restore_state(self.runtime.ledger, fragments["comm"])
+        if "resilience" in fragments:
+            if self.runtime is None or self.runtime.resilience is None:
+                raise CheckpointError(
+                    "snapshot holds resilience state (clock/availability/"
+                    "reply cache) but this service's runtime has no "
+                    "resilient exchange engaged"
+                )
+            restore_state(self.runtime.resilience, fragments["resilience"])
+        for name, fragment in fragments.items():
+            if name.startswith("breaker:"):
+                if self.breaker_policy is None:
+                    raise CheckpointError(
+                        "snapshot holds circuit-breaker state but this "
+                        "service has no breaker policy"
+                    )
+                breaker = CircuitBreaker(self.breaker_policy)
+                restore_state(breaker, fragment)
+                self._breakers[name[len("breaker:"):]] = breaker
         if "rng" in fragments:
             if self.rng is None:
                 raise CheckpointError(

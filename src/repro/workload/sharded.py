@@ -42,7 +42,11 @@ import numpy as np
 
 from repro.api.defenses import DefenseStack, QueryAuditDefense
 from repro.checkpoint import CheckpointPlan, content_fingerprint, raw_fragment
-from repro.exceptions import QueryBudgetExceededError, ValidationError
+from repro.exceptions import (
+    QueryBudgetExceededError,
+    ServiceUnavailableError,
+    ValidationError,
+)
 from repro.federated.model import VerticalFLModel
 from repro.serving.ledger import QueryLedger
 from repro.serving.service import PredictionService
@@ -214,6 +218,13 @@ class ShardedPredictionService:
     seed:
         Spawns one defense stream per shard (prefix scheme), so a
         ``query_noise`` defense draws reproducibly per shard.
+    breaker:
+        Per-consumer circuit-breaker policy forwarded to every shard's
+        :class:`~repro.serving.PredictionService` (a consumer is pinned
+        to one shard, so its breaker lives in exactly one place).
+        ``None`` (default) disables breaking. During replay a breaker
+        refusal counts in the report's ``refusals`` like a budget
+        refusal — the shard keeps serving its other consumers.
     """
 
     def __init__(
@@ -229,6 +240,7 @@ class ShardedPredictionService:
         cache_scope: str = "consumer",
         exhaustion: str = "raise",
         seed: int = 0,
+        breaker: "int | dict | None" = None,
     ) -> None:
         self.vfl = vfl
         self.n_shards = check_positive_int(n_shards, name="n_shards")
@@ -252,6 +264,7 @@ class ShardedPredictionService:
                     cache_scope=cache_scope,
                     rng=shard_rng,
                     exhaustion=exhaustion,
+                    breaker=breaker,
                 )
             )
 
@@ -380,6 +393,13 @@ class ShardedPredictionService:
                     "cache_scope": lead.cache_scope,
                     "exhaustion": lead.exhaustion,
                     "consumer_budgets": dict(lead.ledger.consumer_budgets),
+                    # Only when enabled, so breaker-free fingerprints stay
+                    # byte-identical to pre-resilience snapshots.
+                    **(
+                        {"breaker": lead.breaker_policy.to_payload()}
+                        if lead.breaker_policy is not None
+                        else {}
+                    ),
                 },
                 "trace": {
                     "times": trace.times,
@@ -481,7 +501,9 @@ class ShardedPredictionService:
             name = names[consumer_ids[i]]
             try:
                 query(sample_ids[offsets[i] : offsets[i + 1]], consumer=name)
-            except QueryBudgetExceededError:
+            except (QueryBudgetExceededError, ServiceUnavailableError):
+                # Budget exhaustion and breaker refusals are both
+                # per-consumer serving decisions; the shard keeps going.
                 refused[name] = refused.get(name, 0) + 1
             if on_event is not None:
                 on_event(cursor)

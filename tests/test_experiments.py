@@ -178,7 +178,7 @@ class TestRunners:
     def test_registry_covers_all_paper_artifacts(self):
         assert set(EXPERIMENTS) == {
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "budget", "comm", "traffic",
+            "fig10", "fig11", "budget", "comm", "traffic", "fault_storm",
         }
 
     def test_registry_entries_accept_scale_uniformly(self):
