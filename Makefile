@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving bench-resilience resume-smoke storm-smoke
+.PHONY: test lint smoke docs-check examples-smoke bench bench-smoke bench-baseline bench-serving bench-resilience bench-telemetry resume-smoke storm-smoke trace-smoke
 
 ## test: run the full test suite (tier-1 gate)
 test:
@@ -37,6 +37,10 @@ bench-serving:
 bench-resilience:
 	$(PY) benchmarks/bench_resilience.py
 
+## bench-telemetry: full-scale telemetry overhead gates, writes BENCH_telemetry.json
+bench-telemetry:
+	$(PY) benchmarks/bench_telemetry.py
+
 ## bench-smoke: kernel + serving + federation checks at tiny scale (regression-gated)
 bench-smoke:
 	$(PY) -m repro.bench --smoke
@@ -44,6 +48,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_federation.py --tiny
 	$(PY) benchmarks/bench_serving_scale.py --tiny
 	$(PY) benchmarks/bench_resilience.py --tiny
+	$(PY) benchmarks/bench_telemetry.py --tiny
 
 ## resume-smoke: SIGKILL a GRNA run mid-epoch, resume it, assert bit-identical report
 resume-smoke:
@@ -52,6 +57,10 @@ resume-smoke:
 ## storm-smoke: scheduler bit-identity and mid-storm resume under a fault storm
 storm-smoke:
 	$(PY) scripts/fault_storm_smoke.py
+
+## trace-smoke: SIGKILL a traced GRNA run mid-epoch, resume, assert byte-identical trace
+trace-smoke:
+	$(PY) scripts/trace_resume_smoke.py
 
 ## smoke: regenerate everything at smoke scale, in parallel, resumably
 smoke:
@@ -107,6 +116,11 @@ docs-check:
 	grep -q 'CircuitBreaker' docs/architecture.md
 	grep -q 'fault_storm' README.md
 	grep -q 'BENCH_resilience' README.md
+	grep -q '## Telemetry layer' docs/architecture.md
+	grep -q 'Tracer' docs/architecture.md
+	grep -q 'repro-trace' docs/architecture.md
+	grep -q 'repro-trace' README.md
+	grep -q 'BENCH_telemetry' README.md
 	$(PY) -c "import repro.analysis as a; assert a.__doc__ and 'repro-lint' in a.__doc__; \
 	    assert all(getattr(a, n).__doc__ for n in ('run_lint', 'LintConfig', 'LintReport', 'Finding', 'RULES'))"
 	$(PY) -c "import repro.federation as f; assert f.__doc__ and 'CommLedger' in f.__doc__; \
@@ -124,3 +138,5 @@ docs-check:
 	    assert all(getattr(a, n).__doc__ for n in ('Registry', 'DefenseStack', 'ScenarioAttack', 'ScenarioConfig', 'ScenarioReport', 'run_scenario'))"
 	$(PY) -c "import repro.checkpoint as c; assert c.__doc__ and 'bit-identical' in c.__doc__; \
 	    assert all(getattr(c, n).__doc__ for n in ('CHECKPOINTS', 'StateCodec', 'CheckpointPlan', 'Snapshot', 'SnapshotStore', 'capture_state', 'restore_state'))"
+	$(PY) -c "import repro.telemetry as t; assert t.__doc__ and 'Tracer' in t.__doc__; \
+	    assert all(getattr(t, n).__doc__ for n in ('Tracer', 'TRACE_SINKS', 'MemorySink', 'JsonlSink', 'make_tracer', 'load_trace'))"

@@ -1,0 +1,302 @@
+"""Overhead and exactness gates for the telemetry layer.
+
+Measures what tracing the serving hot path costs over the untraced
+service, and gates the layer's observational contract — this is a
+regression gate, not a printout::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py          # default
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --tiny   # CI smoke
+
+Modes benchmarked (trained LR deployment, batched serving queries):
+
+- ``untraced-*``: ``tracer=None`` — the default path every pre-telemetry
+  caller still takes;
+- ``traced-*``: a :class:`~repro.telemetry.Tracer` over a
+  :class:`~repro.telemetry.MemorySink`, one span per query plus one per
+  chunk. ``-fine`` serves 16-sample chunks (span bookkeeping is a
+  visible fraction of the microsecond-scale LR math); ``-wide`` serves
+  512-sample chunks (the realistic regime, where numpy work dominates);
+- ``traced-jsonl``: the durable sink, fsync'd per record (measured for
+  the trajectory file; its cost is the filesystem's, so it is not gated).
+
+Gates (any failure prints ``!!`` and exits non-zero):
+
+1. **Observational exactness** — traced and untraced predictions are
+   bit-identical, and two traced runs emit identical record streams
+   (``wall`` excluded): tracing changes no number and is deterministic.
+2. **Record accounting** — one ``serving.query`` span per query call and
+   one ``serving.chunk`` span per protocol chunk, exactly.
+3. **Per-record cost** — fine-grained tracing stays under
+   ``MAX_RECORD_MICROS`` per record: the absolute bound that catches
+   accidental copies or quadratic bookkeeping in the emit path.
+4. **Amortized overhead** — wide-chunk traced serving stays within
+   ``MAX_TRACED_OVERHEAD``x of the untraced path (looser at --tiny
+   scale, where a single-chunk run is timer-noise-dominated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.api import make_model
+from repro.config import ScaleConfig
+from repro.datasets import load_dataset
+from repro.federated import FeaturePartition, train_vertical_model
+from repro.serving import PredictionService
+from repro.telemetry import MemorySink, JsonlSink, Tracer
+
+#: Gate: absolute cost of one emitted record on the fine-grained path.
+#: Emitting is a dict build plus a list append — tens of microseconds
+#: means someone added a copy, a flush, or quadratic work.
+MAX_RECORD_MICROS = 50.0
+
+#: Gate: traced wide-chunk serving throughput vs untraced. The default
+#: scale amortizes per-record bookkeeping over real numpy work; the tiny
+#: CI scale times a single chunk, so its gate is looser.
+MAX_TRACED_OVERHEAD = 1.05
+MAX_TRACED_OVERHEAD_TINY = 1.50
+
+TINY = ScaleConfig(
+    name="tel-tiny",
+    n_samples=400,
+    n_predictions=256,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=3,
+    mlp_hidden=(16,),
+    mlp_epochs=2,
+    rf_trees=5,
+    rf_depth=3,
+    dt_depth=4,
+    grna_hidden=(16,),
+    grna_epochs=2,
+    grna_batch_size=32,
+    distiller_hidden=(32,),
+    distiller_dummy=200,
+    distiller_epochs=2,
+)
+
+DEFAULT = ScaleConfig(
+    name="tel-default",
+    n_samples=4000,
+    n_predictions=2048,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=10,
+    mlp_hidden=(64, 32),
+    mlp_epochs=4,
+    rf_trees=20,
+    rf_depth=3,
+    dt_depth=5,
+    grna_hidden=(32,),
+    grna_epochs=2,
+    grna_batch_size=64,
+    distiller_hidden=(64,),
+    distiller_dummy=500,
+    distiller_epochs=2,
+)
+
+BATCH_FINE = 16
+BATCH_WIDE = 2048
+#: The wide measurement always serves this many predictions (4 chunks):
+#: the point is the per-chunk work/overhead ratio, not the scale preset.
+WIDE_PREDICTIONS = 4 * BATCH_WIDE
+
+
+def deploy(scale: ScaleConfig):
+    """One trained two-party LR deployment."""
+    dataset = load_dataset("bank", n_samples=scale.n_samples, rng=0)
+    half = dataset.n_samples // 2
+    partition = FeaturePartition.adversary_target(dataset.n_features, 0.4, rng=0)
+    model = make_model("lr", scale, np.random.default_rng(0))
+    return train_vertical_model(
+        model,
+        dataset.X[:half],
+        dataset.y[:half],
+        dataset.X[half:],
+        dataset.y[half:],
+        partition,
+    )
+
+
+def chunks(n: int, n_served: int, batch: int) -> list[np.ndarray]:
+    # The service holds the held-out half; wrap so every chunk is valid.
+    indices = np.arange(n) % n_served
+    return [indices[start : start + batch] for start in range(0, n, batch)]
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-N wall-clock seconds (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def serve(vfl, queries, batch, tracer=None) -> np.ndarray:
+    service = PredictionService(vfl, max_batch=batch, tracer=tracer)
+    return np.concatenate(
+        [service.query(chunk, consumer="bench") for chunk in queries]
+    )
+
+
+def strip_wall(records):
+    return [{k: v for k, v in r.items() if k != "wall"} for r in records]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke scale (seconds, small models)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="summary path (default: BENCH_telemetry.json, or "
+        "BENCH_telemetry-live.json with --tiny so the checked-in "
+        "trajectory file is never clobbered by CI)",
+    )
+    args = parser.parse_args(argv)
+    scale = TINY if args.tiny else DEFAULT
+    gate = MAX_TRACED_OVERHEAD_TINY if args.tiny else MAX_TRACED_OVERHEAD
+    ok = True
+
+    vfl = deploy(scale)
+    fine = chunks(scale.n_predictions, vfl.n_samples, BATCH_FINE)
+    wide = chunks(WIDE_PREDICTIONS, vfl.n_samples, BATCH_WIDE)
+    n_by_mode = {"wide": WIDE_PREDICTIONS}
+    print(
+        f"# Telemetry overhead — {scale.n_predictions} predictions in "
+        f"chunks of {BATCH_FINE} (fine), {WIDE_PREDICTIONS} in chunks of "
+        f"{BATCH_WIDE} (wide), scale={scale.name}"
+    )
+
+    seconds: dict[str, float] = {}
+    seconds["untraced-fine"] = timed(
+        lambda: serve(vfl, fine, BATCH_FINE), args.repeats
+    )
+    seconds["traced-fine"] = timed(
+        lambda: serve(vfl, fine, BATCH_FINE, tracer=Tracer(MemorySink())),
+        args.repeats,
+    )
+    seconds["untraced-wide"] = timed(
+        lambda: serve(vfl, wide, BATCH_WIDE), args.repeats
+    )
+    seconds["traced-wide"] = timed(
+        lambda: serve(vfl, wide, BATCH_WIDE, tracer=Tracer(MemorySink())),
+        args.repeats,
+    )
+
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-telemetry-") as tmp:
+        trace_path = Path(tmp) / "bench.jsonl"
+
+        def serve_jsonl() -> None:
+            trace_path.unlink(missing_ok=True)
+            tracer = Tracer(JsonlSink(trace_path))
+            serve(vfl, fine, BATCH_FINE, tracer=tracer)
+            tracer.close()
+
+        seconds["traced-jsonl"] = timed(serve_jsonl, args.repeats)
+
+    # Gate 1: tracing is observational and deterministic.
+    untraced = serve(vfl, fine, BATCH_FINE)
+    first, second = Tracer(MemorySink()), Tracer(MemorySink())
+    traced = serve(vfl, fine, BATCH_FINE, tracer=first)
+    serve(vfl, fine, BATCH_FINE, tracer=second)
+    if not np.array_equal(untraced, traced):
+        ok = False
+        print("!! traced predictions differ from untraced; tracing is not "
+              "observational")
+    if strip_wall(first.sink.records) != strip_wall(second.sink.records):
+        ok = False
+        print("!! two identical traced runs emitted different records")
+
+    # Gate 2: record accounting — one span per query, one per chunk.
+    by_kind = first.summary()["by_kind"]
+    expected = {"serving.chunk": len(fine), "serving.query": len(fine)}
+    if by_kind != expected:
+        ok = False
+        print(f"!! trace by_kind {by_kind} != expected {expected}")
+
+    # Gate 3: absolute per-record cost on the fine-grained path.
+    record_micros = (
+        (seconds["traced-fine"] - seconds["untraced-fine"])
+        / first.records_emitted
+        * 1e6
+    )
+    if record_micros > MAX_RECORD_MICROS:
+        ok = False
+        print(
+            f"!! emitting one record costs {record_micros:.1f}us; "
+            f"gate is {MAX_RECORD_MICROS}us"
+        )
+
+    # Gate 4: amortized overhead where real work dominates.
+    overhead = seconds["traced-wide"] / seconds["untraced-wide"]
+    if overhead > gate:
+        ok = False
+        print(
+            f"!! traced wide-chunk serving cost {overhead:.3f}x the "
+            f"untraced path; gate is {gate}x"
+        )
+
+    header = f"{'mode':<16} {'seconds':>10} {'preds/s':>12}"
+    print(header)
+    print("-" * len(header))
+    for mode, secs in seconds.items():
+        n = n_by_mode["wide"] if mode.endswith("wide") else scale.n_predictions
+        rate = n / secs if secs > 0 else float("inf")
+        print(f"{mode:<16} {secs:>10.4f} {rate:>12.0f}")
+    print(
+        f"per-record cost: {record_micros:.1f}us "
+        f"({first.records_emitted} records/fine run); "
+        f"wide overhead: {overhead:.3f}x"
+    )
+
+    summary = {
+        "label": "telemetry",
+        "scale": scale.name,
+        "created": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "batch_fine": BATCH_FINE,
+        "batch_wide": BATCH_WIDE,
+        "seconds": seconds,
+        "record_micros": record_micros,
+        "traced_overhead": overhead,
+        "gates": {"record_micros": MAX_RECORD_MICROS, "overhead": gate},
+        "records_per_run": first.records_emitted,
+        "deterministic": strip_wall(first.sink.records)
+        == strip_wall(second.sink.records),
+    }
+    out = args.out or (
+        "BENCH_telemetry-live.json" if args.tiny else "BENCH_telemetry.json"
+    )
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    if not ok:
+        print("FAIL: telemetry layer regression detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Trace-resume smoke: SIGKILL a traced GRNA run mid-epoch, resume, compare.
+
+The telemetry layer's strongest claim extends the checkpoint one: after
+the ugliest interruption the OS offers, the resumed run's JSONL trace is
+**byte-identical** to an uninterrupted run's — the deterministic replay
+re-emits every record the dead process already wrote, the sink skips
+them by ``seq``, and appends exactly where the torn run stopped.
+
+1. seed two identical resumable run directories whose config carries
+   ``telemetry={"sink": "jsonl", "path": "trace.jsonl"}`` (relative:
+   each subprocess runs with its run dir as cwd, so the payloads match);
+2. SIGKILL the first mid-training, resume it to completion;
+3. run the second uninterrupted;
+4. assert both ``report.json`` digests *and* both ``trace.jsonl`` bytes
+   are equal.
+
+Exit code 0 on success. Run via ``make trace-smoke`` (CI) or directly::
+
+    PYTHONPATH=src python scripts/trace_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.api import ScenarioConfig  # noqa: E402
+from repro.api.resume import ATTACK_SUBDIR, REPORT_FILE, SCENARIO_FILE, config_payload  # noqa: E402
+from repro.checkpoint import SNAPSHOT_SUFFIX  # noqa: E402
+from repro.config import ScaleConfig  # noqa: E402
+
+TRACE_FILE = "trace.jsonl"
+
+# Small data, deliberately many epochs: the run must live long enough
+# (a few seconds) for the parent to observe snapshots and pull the plug.
+SCALE = ScaleConfig(
+    name="tracesmoke",
+    n_samples=200,
+    n_predictions=64,
+    n_trials=1,
+    fractions=(0.4,),
+    lr_epochs=5,
+    mlp_hidden=(16,),
+    mlp_epochs=2,
+    rf_trees=4,
+    grna_hidden=(32,),
+    grna_epochs=40,
+    distiller_hidden=(32,),
+    distiller_dummy=200,
+    distiller_epochs=2,
+)
+
+CONFIG = ScenarioConfig(
+    dataset="bank",
+    model="nn",
+    attack="grna",
+    target_fraction=0.4,
+    scale=SCALE,
+    seed=13,
+    baselines=("uniform",),
+    batch_size=32,
+    telemetry={"sink": "jsonl", "path": TRACE_FILE},
+)
+
+
+def seed_run_dir(root: Path) -> Path:
+    root.mkdir(parents=True)
+    (root / SCENARIO_FILE).write_text(
+        json.dumps(config_payload(CONFIG), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return root
+
+
+def resume_cmd(run_dir: Path) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments.ckpt_cli",
+        "resume",
+        str(run_dir),
+    ]
+
+
+def count_snapshots(run_dir: Path) -> int:
+    attack = run_dir / ATTACK_SUBDIR
+    if not attack.is_dir():
+        return 0
+    return sum(1 for p in attack.iterdir() if p.name.endswith(SNAPSHOT_SUFFIX))
+
+
+def digest(run_dir: Path, name: str) -> str:
+    return hashlib.sha256((run_dir / name).read_bytes()).hexdigest()
+
+
+def run_to_completion(run_dir: Path, env: dict, label: str) -> bool:
+    done = subprocess.run(resume_cmd(run_dir), env=env, cwd=run_dir)
+    if done.returncode != 0:
+        print(f"FAIL: {label} run exited {done.returncode}")
+        return False
+    return True
+
+
+def main() -> int:
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    workdir = Path(tempfile.mkdtemp(prefix="repro-trace-resume-"))
+    try:
+        victim_dir = seed_run_dir(workdir / "victim")
+        reference_dir = seed_run_dir(workdir / "reference")
+
+        victim = subprocess.Popen(
+            resume_cmd(victim_dir),
+            env=env,
+            cwd=victim_dir,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if count_snapshots(victim_dir) >= 2:
+                break
+            if victim.poll() is not None:
+                print(
+                    "FAIL: victim finished (or died) before any mid-run "
+                    f"snapshot was observed (exit {victim.returncode})"
+                )
+                return 1
+            time.sleep(0.05)
+        else:
+            victim.kill()
+            print("FAIL: no snapshots appeared within the deadline")
+            return 1
+
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        if (victim_dir / REPORT_FILE).exists():
+            print("FAIL: victim completed before the kill; nothing was tested")
+            return 1
+        torn_bytes = (
+            (victim_dir / TRACE_FILE).stat().st_size
+            if (victim_dir / TRACE_FILE).exists()
+            else 0
+        )
+        print(
+            f"killed victim at {count_snapshots(victim_dir)} snapshot(s), "
+            f"{torn_bytes} trace byte(s) on disk; resuming..."
+        )
+
+        if not run_to_completion(victim_dir, env, "resume"):
+            return 1
+        if not run_to_completion(reference_dir, env, "reference"):
+            return 1
+
+        ok = True
+        for name in (REPORT_FILE, TRACE_FILE):
+            resumed_digest = digest(victim_dir, name)
+            reference_digest = digest(reference_dir, name)
+            if resumed_digest != reference_digest:
+                print(
+                    f"FAIL: resumed {name} diverged from uninterrupted run\n"
+                    f"  resumed:   {resumed_digest}\n"
+                    f"  reference: {reference_digest}"
+                )
+                ok = False
+            else:
+                print(f"PASS: {name} resumed == uninterrupted "
+                      f"(sha256 {resumed_digest[:16]}...)")
+        return 0 if ok else 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ from repro import (
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "analysis",

@@ -35,6 +35,7 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "datasets": 3,
     "nn": 3,
     "resilience": 3,
+    "telemetry": 3,
     "models": 4,
     "metrics": 5,
     "federated": 5,
@@ -50,8 +51,10 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
 }
 
 #: Modules granted wall-clock access (benchmark timing tier).
+#: ``repro.telemetry.wall`` is the telemetry layer's single sanctioned
+#: wall-clock reader; the rest of ``repro.telemetry`` stays banned.
 DEFAULT_TIMING_MODULES: frozenset[str] = frozenset(
-    {"repro.bench", "repro.experiments.batch"}
+    {"repro.bench", "repro.experiments.batch", "repro.telemetry.wall"}
 )
 
 #: Path prefixes (relative to the lint root) granted wall-clock access.

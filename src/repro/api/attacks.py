@@ -274,6 +274,7 @@ class GrnaScenarioAttack(ScenarioAttack):
         self._view = None
         self._scale: ScaleConfig | None = None
         self._seed = 0
+        self._tracer = None
         self.distiller_: RandomForestDistiller | None = None
 
     def prepare(self, scenario, *, scale=None, seed: int = 0) -> "GrnaScenarioAttack":
@@ -289,6 +290,9 @@ class GrnaScenarioAttack(ScenarioAttack):
         self._model = released_model(scenario)
         self._view = scenario.view
         self._seed = int(seed)
+        # Traced scenarios report generator training (grna.epoch) into
+        # the same tracer the serving/federation layers feed.
+        self._tracer = getattr(scenario, "tracer", None)
         return self
 
     def run(self, x_adv: np.ndarray, v: np.ndarray) -> AttackResult:
@@ -300,6 +304,8 @@ class GrnaScenarioAttack(ScenarioAttack):
         # re-derived per call so run() is idempotent.
         grna_rng, distill_rng, dummy_rng = spawn_rngs(self._seed + 1, 3)
         kwargs = {**grna_kwargs_from_scale(scale, grna_rng), **self.params}
+        if self._tracer is not None:
+            kwargs.setdefault("tracer", self._tracer)
         if isinstance(self._model, RandomForestClassifier):
             distiller = RandomForestDistiller(
                 hidden_sizes=scale.distiller_hidden,

@@ -59,6 +59,7 @@ from repro.models import BaseClassifier
 from repro.nn.data import train_test_split
 from repro.resilience import DEGRADATIONS, BreakerPolicy, RetryPolicy
 from repro.serving import PredictionService
+from repro.telemetry import TRACE_SINKS, make_tracer
 from repro.utils.random import check_random_state, spawn_rngs
 
 __all__ = [
@@ -122,6 +123,32 @@ def _check_quorum_spec(value: "int | float | None") -> None:
         )
 
 
+def _check_telemetry_spec(value: "bool | dict | None") -> None:
+    """Shape validation for the ``telemetry`` knob.
+
+    ``None``/``False`` disables tracing, ``True`` traces into a memory
+    sink, a dict selects the sink (``{"sink": "jsonl", "path": ...,
+    "wall": ...}``). Same vocabulary as
+    :func:`~repro.telemetry.make_tracer`, validated before any work.
+    """
+    if value is None or isinstance(value, bool):
+        return
+    if not isinstance(value, dict):
+        raise ScenarioError(
+            f"telemetry must be True/False/None or a sink dict, got {value!r}"
+        )
+    unknown = set(value) - {"sink", "path", "wall"}
+    if unknown:
+        raise ScenarioError(
+            f"unknown telemetry key(s) {sorted(unknown)}; allowed: "
+            "sink, path, wall"
+        )
+    sink = value.get("sink", "memory")
+    TRACE_SINKS.get(sink)
+    if sink == "jsonl" and not value.get("path"):
+        raise ScenarioError("telemetry sink 'jsonl' needs a 'path'")
+
+
 @dataclass
 class VFLScenario:
     """Everything one attack experiment needs.
@@ -152,6 +179,10 @@ class VFLScenario:
         the message-passing protocol the service drives; its
         :class:`~repro.federation.CommLedger` holds the scenario's
         communication cost.
+    tracer:
+        The deployment's :class:`~repro.telemetry.Tracer`, shared by the
+        service, the runtime, and any attack prepared on this scenario.
+        ``None`` when the scenario was built without telemetry.
     """
 
     dataset: Dataset
@@ -166,6 +197,7 @@ class VFLScenario:
     meta: dict[str, Any] = field(default_factory=dict)
     service: "PredictionService | None" = None
     runtime: "FederationRuntime | None" = None
+    tracer: Any = None
 
 
 def build_scenario(
@@ -194,6 +226,7 @@ def build_scenario(
     quorum: "int | float | None" = None,
     degradation: str = "zero_fill",
     breaker: "BreakerPolicy | int | dict | None" = None,
+    tracer=None,
 ) -> VFLScenario:
     """Construct one complete attack scenario.
 
@@ -287,6 +320,11 @@ def build_scenario(
         breaker into refusing queries
         (:class:`~repro.exceptions.ServiceUnavailableError`) until a
         half-open probe succeeds. ``None`` disables breakers.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`, attached to both the
+        federation runtime (round/retry/degradation records) and the
+        serving layer (query/chunk/breaker records). ``None`` (default)
+        leaves every byte of the untraced construction untouched.
     """
     n_streams = 4 if defense_stack is None or not len(defense_stack) else 5
     streams = spawn_rngs(seed, n_streams)
@@ -360,6 +398,7 @@ def build_scenario(
         retry=retry,
         quorum=quorum,
         degradation=degradation,
+        tracer=tracer,
     )
     _check_comm_budget(comm_budget)
     if comm_budget is not None:
@@ -393,6 +432,7 @@ def build_scenario(
         rng=defense_rng,
         exhaustion=on_budget_exhausted,
         breaker=breaker,
+        tracer=tracer,
     )
     try:
         V = service.query(picked, consumer=consumer, checkpoint=checkpoint)
@@ -426,6 +466,7 @@ def build_scenario(
         meta=meta,
         service=service,
         runtime=runtime,
+        tracer=tracer,
     )
     if defense_rng is not None:
         scenario = defense_stack.apply_release_filter(scenario)
@@ -474,6 +515,14 @@ class ScenarioConfig:
     failures instead of burning protocol rounds. All-``None``/default
     resilience knobs leave every byte of the historical scenario
     untouched.
+
+    ``telemetry`` opts the deployment into the observability layer:
+    ``True`` traces into a memory sink, a dict selects the sink
+    (``{"sink": "jsonl", "path": ..., "wall": ...}`` — see
+    :func:`~repro.telemetry.make_tracer`). Traced record content is
+    deterministic (wall-clock durations ride a quarantined field); the
+    default ``None`` runs byte-identically to an untraced scenario and
+    leaves :attr:`ScenarioReport.telemetry` empty.
     """
 
     dataset: str
@@ -500,6 +549,7 @@ class ScenarioConfig:
     quorum: "int | float | None" = None
     degradation: str = "zero_fill"
     breaker: "int | dict | None" = None
+    telemetry: "bool | dict | None" = None
 
 
 @dataclass
@@ -541,6 +591,11 @@ class ScenarioReport:
         (no ``retry``/``quorum`` knob and no stochastic faults) — its
         presence is itself the signal that the deployment weathered a
         storm.
+    telemetry:
+        The tracer's :meth:`~repro.telemetry.Tracer.summary` — records
+        emitted, per-kind counts, named counters, last simulated-clock
+        reading. Deterministic, so two runs of one config agree on it
+        bit-for-bit. Empty when the config's ``telemetry`` knob was off.
     """
 
     config: ScenarioConfig
@@ -550,6 +605,7 @@ class ScenarioReport:
     queries_used: int = 0
     comm_cost: dict[str, Any] = field(default_factory=dict)
     availability: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-paragraph human-readable digest (used by the examples)."""
@@ -610,11 +666,13 @@ class ScenarioReport:
                 "quorum": config.quorum,
                 "degradation": config.degradation,
                 "breaker": config.breaker,
+                "telemetry": config.telemetry,
             },
             "metrics": self.metrics,
             "queries_used": self.queries_used,
             "comm_cost": dict(self.comm_cost),
             "availability": dict(self.availability),
+            "telemetry": dict(self.telemetry),
         }
 
     @classmethod
@@ -661,6 +719,9 @@ class ScenarioReport:
             quorum=data.get("quorum"),
             degradation=data.get("degradation", "zero_fill"),
             breaker=data.get("breaker"),
+            # .get(): payloads persisted before the telemetry layer
+            # existed carry no such key and mean tracing off.
+            telemetry=data.get("telemetry"),
         )
         return cls(
             config=config,
@@ -670,6 +731,7 @@ class ScenarioReport:
             queries_used=int(payload["queries_used"]),
             comm_cost=dict(payload.get("comm_cost", {})),
             availability=dict(payload.get("availability", {})),
+            telemetry=dict(payload.get("telemetry", {})),
         )
 
     def to_json(self) -> str:
@@ -795,6 +857,7 @@ def _validate(config: ScenarioConfig, attack: ScenarioAttack, stack: DefenseStac
     RetryPolicy.from_spec(config.retry)
     BreakerPolicy.from_spec(config.breaker)
     _check_quorum_spec(config.quorum)
+    _check_telemetry_spec(config.telemetry)
     DEGRADATIONS.get(config.degradation)
     if config.topology is not None:
         config.topology.validate()
@@ -949,43 +1012,72 @@ def run_scenario(
         or config.quorum is not None
         or config.degradation != "zero_fill"
         or config.breaker is not None
+        or config.telemetry is not None
     ):
         raise ScenarioError(
             "serving and federation knobs (query_budget/batch_size/cache/"
             "cache_size/on_budget_exhausted/topology/comm_budget/scheduler/"
-            "retry/quorum/degradation/breaker) configure the deployment when "
-            "the scenario is built and cannot apply to a prebuilt scenario; "
-            "set them on build_scenario (or on its service) instead"
+            "retry/quorum/degradation/breaker/telemetry) configure the "
+            "deployment when the scenario is built and cannot apply to a "
+            "prebuilt scenario; set them on build_scenario (or on its "
+            "service) instead"
         )
 
-    if scenario is None:
-        scenario = build_scenario(
-            config.dataset,
-            config.model,
-            config.target_fraction,
-            scale,
-            config.seed,
-            n_predictions=config.n_predictions,
-            model_params=config.model_params,
-            defense_stack=stack if len(stack) else None,
-            query_budget=config.query_budget,
-            batch_size=config.batch_size,
-            cache=config.cache,
-            cache_size=config.cache_size,
-            on_budget_exhausted=config.on_budget_exhausted,
-            consumer=config.attack,
-            topology=config.topology,
-            comm_budget=config.comm_budget,
-            scheduler=config.scheduler,
-            checkpoint=serving_checkpoint,
-            retry=config.retry,
-            quorum=config.quorum,
-            degradation=config.degradation,
-            breaker=config.breaker,
-        )
-    attack.prepare(scenario, scale=scale, seed=config.seed)
-    result = attack.run(scenario.X_adv, scenario.V)
-    metrics = _compute_metrics(config, scenario, result)
+    # A tracer built here is owned here: when an exception (including a
+    # CheckpointPause suspension) unwinds past this frame the caller has
+    # no handle to it, so close its sink on the way out. Records are
+    # fsync'd per emit — nothing is lost, and a resumed run reopens the
+    # file in skip-by-seq mode.
+    owned_tracer = None
+    try:
+        if scenario is None:
+            owned_tracer = tracer = make_tracer(config.telemetry)
+
+            def build() -> VFLScenario:
+                return build_scenario(
+                    config.dataset,
+                    config.model,
+                    config.target_fraction,
+                    scale,
+                    config.seed,
+                    n_predictions=config.n_predictions,
+                    model_params=config.model_params,
+                    defense_stack=stack if len(stack) else None,
+                    query_budget=config.query_budget,
+                    batch_size=config.batch_size,
+                    cache=config.cache,
+                    cache_size=config.cache_size,
+                    on_budget_exhausted=config.on_budget_exhausted,
+                    consumer=config.attack,
+                    topology=config.topology,
+                    comm_budget=config.comm_budget,
+                    scheduler=config.scheduler,
+                    checkpoint=serving_checkpoint,
+                    retry=config.retry,
+                    quorum=config.quorum,
+                    degradation=config.degradation,
+                    breaker=config.breaker,
+                    tracer=tracer,
+                )
+
+            if tracer is None:
+                scenario = build()
+            else:
+                with tracer.span(
+                    "scenario.build",
+                    dataset=config.dataset,
+                    model=config.model,
+                    attack=config.attack,
+                ) as span:
+                    scenario = build()
+                    span["predictions"] = int(scenario.V.shape[0])
+        attack.prepare(scenario, scale=scale, seed=config.seed)
+        result = attack.run(scenario.X_adv, scenario.V)
+        metrics = _compute_metrics(config, scenario, result)
+    except BaseException:
+        if owned_tracer is not None:
+            owned_tracer.close()
+        raise
     queries_used = (
         scenario.service.ledger.queries_used
         if scenario.service is not None
@@ -997,6 +1089,9 @@ def run_scenario(
     availability = (
         scenario.runtime.availability_report() if scenario.runtime is not None else {}
     )
+    # Summarized after the attack ran, so grna.epoch records count too;
+    # a prebuilt traced scenario contributes its own tracer.
+    tracer = getattr(scenario, "tracer", None)
     return ScenarioReport(
         config=config,
         scenario=scenario,
@@ -1005,4 +1100,5 @@ def run_scenario(
         queries_used=queries_used,
         comm_cost=comm_cost,
         availability=availability,
+        telemetry=tracer.summary() if tracer is not None else {},
     )

@@ -35,7 +35,7 @@ from repro.checkpoint import (
     raw_fragment,
     restore_state,
 )
-from repro.exceptions import AttackError, ValidationError
+from repro.exceptions import AttackError, CheckpointError, ValidationError
 from repro.federated.partition import AdversaryView
 from repro.models.base import BaseClassifier, DifferentiableClassifier
 from repro.models.distill import RandomForestDistiller
@@ -97,6 +97,12 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         bit-identical to an uninterrupted one — every post-restore draw
         comes from the restored rng position, including the fresh noise
         draw :meth:`reconstruct` makes after training.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`. When attached, the
+        epoch loop emits a ``grna.epoch`` event per epoch and each
+        snapshot a ``checkpoint.snapshot`` event; the tracer's own
+        counters ride the snapshot, so a resumed run's trace continues
+        the interrupted one record for record.
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         clip_to_unit: bool = True,
         rng: np.random.Generator | int = 0,
         checkpoint: CheckpointPlan | None = None,
+        tracer=None,
     ) -> None:
         if not isinstance(model, DifferentiableClassifier):
             raise AttackError(
@@ -156,6 +163,7 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         self.output_activation = output_activation
         self.clip_to_unit = bool(clip_to_unit)
         self.checkpoint = checkpoint
+        self.tracer = tracer
         self.rng = check_random_state(rng)
         self.generator_ = None
         self._direct_estimate: Parameter | None = None
@@ -314,9 +322,12 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
 
     def _fit_fingerprint(self, X_adv: np.ndarray, V: np.ndarray) -> str:
         """Bind snapshots to the exact training problem being resumed."""
+        # Traced and untraced runs may not share snapshots: the traced
+        # fragments carry tracer counters the untraced resume would drop.
         return content_fingerprint(
             {
                 "attack": "grna",
+                "telemetry": self.tracer is not None,
                 "model": {
                     "class": type(self.model).__name__,
                     "n_features": self.model.n_features_,
@@ -345,6 +356,8 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
             "optimizer": capture_state(optimizer),
             "progress": raw_fragment(meta={"loss_history": list(self.loss_history_)}),
         }
+        if self.tracer is not None:
+            fragments["telemetry"] = capture_state(self.tracer)
         if self.use_generator:
             fragments["generator"] = raw_fragment(
                 arrays=self.generator_.state_dict()
@@ -383,6 +396,14 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
         self.loss_history_ = [
             float(x) for x in snapshot.fragment("progress")["meta"]["loss_history"]
         ]
+        if "telemetry" in snapshot.fragments:
+            if self.tracer is None:
+                raise CheckpointError(
+                    "snapshot holds tracer state but this attack has no "
+                    "tracer attached; rerun with the same telemetry knob "
+                    "the snapshot was taken under"
+                )
+            restore_state(self.tracer, snapshot.fragment("telemetry"))
         return int(snapshot.meta["epoch"]) + 1
 
     def _fit_generator(self, X_adv: np.ndarray, V: np.ndarray) -> None:
@@ -408,10 +429,11 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
                 epoch_loss += loss.item()
                 n_batches += 1
             self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            self._trace_epoch(epoch)
             if self.checkpoint is not None:
                 self.checkpoint.maybe_emit(
                     epoch,
-                    lambda: self._fit_fragments(optimizer),
+                    self._traced_fragments(optimizer, epoch),
                     meta={"epoch": epoch},
                 )
 
@@ -437,12 +459,35 @@ class GenerativeRegressionNetwork(FeatureInferenceAttack):
                 epoch_loss += loss.item()
                 n_batches += 1
             self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            self._trace_epoch(epoch)
             if self.checkpoint is not None:
                 self.checkpoint.maybe_emit(
                     epoch,
-                    lambda: self._fit_fragments(optimizer),
+                    self._traced_fragments(optimizer, epoch),
                     meta={"epoch": epoch},
                 )
+
+    def _trace_epoch(self, epoch: int) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "grna.epoch", epoch=epoch, loss=self.loss_history_[-1]
+            )
+
+    def _traced_fragments(self, optimizer, epoch: int):
+        """Snapshot builder that logs the snapshot it rides in.
+
+        The ``checkpoint.snapshot`` event fires inside the lazily-called
+        closure *before* the fragments (and the tracer's own counters)
+        are captured, so the captured seq counts it and a resumed run's
+        trace lines up record for record with the interrupted one.
+        """
+
+        def fragments() -> dict:
+            if self.tracer is not None:
+                self.tracer.event("checkpoint.snapshot", scope="grna", epoch=epoch)
+            return self._fit_fragments(optimizer)
+
+        return fragments
 
     # ------------------------------------------------------------------
     # Inference

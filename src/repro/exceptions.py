@@ -122,6 +122,17 @@ class ServiceUnavailableError(ReproError, RuntimeError):
     """
 
 
+class TelemetryError(ReproError, RuntimeError):
+    """A trace could not be written, read, or trusted.
+
+    Raised by the :mod:`repro.telemetry` subsystem when a JSONL trace
+    file is corrupt mid-stream, or when a resumed run's record sequence
+    does not line up with the records already durable in the file —
+    appending would silently break the resumed-trace == fresh-trace
+    concatenation contract, so the sink refuses instead.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A snapshot could not be written, read, or trusted.
 

@@ -59,6 +59,7 @@ def run_batch(
     store: "ResultsStore | str | None" = None,
     force: bool = False,
     on_progress: "ProgressFn | None" = None,
+    tracer=None,
 ) -> ExperimentResult:
     """Run one experiment over its trial units, in parallel and resumably.
 
@@ -80,6 +81,14 @@ def run_batch(
         overwrite the stored ones).
     on_progress:
         Optional callback receiving human-readable progress lines.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`. Emits one
+        ``batch.unit`` event per unit in the parent process — status
+        ``"hit"`` (served from the store), ``"start"`` (dispatched) or
+        ``"finish"`` (persisted) — plus a ``batch.cache_hits`` counter.
+        Operational telemetry: with ``jobs > 1`` the finish order
+        follows pool completion, so it sits outside the determinism
+        contract the serving/federation spans honor.
 
     Experiments that declare ``shard_unit``/``merge_shards`` (see
     :class:`~repro.experiments.spec.ExperimentSpec`) are cached at
@@ -97,6 +106,12 @@ def run_batch(
     experiment = get_experiment_spec(experiment_id)
     scale = get_scale(scale)
     units = ensure_unique_unit_ids(experiment.trial_units(scale))
+
+    def trace_unit(unit_id: str, status: str) -> None:
+        if tracer is not None:
+            tracer.event("batch.unit", unit=unit_id, status=status)
+            if status == "hit":
+                tracer.count("batch.cache_hits")
 
     def lookup(spec: TrialSpec, digest: str) -> "dict | None":
         if store is None or force:
@@ -119,6 +134,7 @@ def run_batch(
         if payload is not None:
             results[unit.unit_id] = payload
             unit_hits += 1
+            trace_unit(unit.unit_id, "hit")
         elif experiment.shard_unit is None:
             pending.append((unit, digest))
         else:
@@ -130,6 +146,7 @@ def run_batch(
                 if shard_payload is not None:
                     results[shard.unit_id] = shard_payload
                     shard_hits += 1
+                    trace_unit(shard.unit_id, "hit")
                 else:
                     pending.append((shard, shard_digest))
                     shard_misses += 1
@@ -148,6 +165,7 @@ def run_batch(
     elapsed_by_id: dict[str, float] = {}
 
     def record(unit: TrialSpec, digest: str, payload: dict, elapsed: float) -> None:
+        trace_unit(unit.unit_id, "finish")
         results[unit.unit_id] = payload
         elapsed_by_id[unit.unit_id] = elapsed
         if store is not None:
@@ -165,14 +183,17 @@ def run_batch(
 
     if jobs == 1 or len(pending) <= 1:
         for unit, digest in pending:
+            trace_unit(unit.unit_id, "start")
             payload, elapsed = _execute_unit(experiment_id, unit, scale)
             record(unit, digest, payload, elapsed)
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_unit, experiment_id, unit, scale): (unit, digest)
-                for unit, digest in pending
-            }
+            futures = {}
+            for unit, digest in pending:
+                trace_unit(unit.unit_id, "start")
+                futures[
+                    pool.submit(_execute_unit, experiment_id, unit, scale)
+                ] = (unit, digest)
             for future in as_completed(futures):
                 unit, digest = futures[future]
                 payload, elapsed = future.result()

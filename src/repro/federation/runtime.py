@@ -152,6 +152,14 @@ class FederationRuntime:
         Imputation strategy key from
         :data:`~repro.resilience.DEGRADATIONS` (``"zero_fill"``,
         ``"last_known"``) used for quorum-degraded rounds.
+    tracer:
+        A :class:`~repro.telemetry.Tracer` to report into: one
+        ``federation.round`` span per exchange, ``resilience.retry_wave``
+        events per retry wave, and ``federation.degraded`` events for
+        quorum-degraded rounds. When the resilient exchange is engaged,
+        the simulated clock is bound as the tracer's time source, so
+        span ``sim`` seconds track protocol latency. ``None`` (default)
+        traces nothing.
     """
 
     def __init__(
@@ -165,6 +173,7 @@ class FederationRuntime:
         retry: "RetryPolicy | int | dict | None" = None,
         quorum: "int | float | None" = None,
         degradation: str = "zero_fill",
+        tracer=None,
         _transport: "Transport | None" = None,
     ) -> None:
         self.vfl = vfl
@@ -195,6 +204,12 @@ class FederationRuntime:
         self.resilience: "ResilienceState | None" = (
             ResilienceState() if engaged else None
         )
+        self.tracer = tracer
+        if tracer is not None and self.resilience is not None:
+            # Read through self.resilience on every tick: a checkpoint
+            # restore replaces the SimClock object, and a captured
+            # reference would keep reporting the dead clock.
+            tracer.bind_clock(lambda: self.resilience.clock.now)
         self._active = ActivePartyNode(vfl.parties[0], self.transport, self.faults)
         self._passives = [
             PassivePartyNode(party, self.transport, self.faults)
@@ -274,6 +289,16 @@ class FederationRuntime:
     # ------------------------------------------------------------------
     def _exchange(self, kind: str, rows: np.ndarray) -> dict[int, np.ndarray]:
         """One protocol round over this deployment (see :func:`_exchange_round`)."""
+        if self.tracer is None:
+            return self._exchange_inner(kind, rows)
+        with self.tracer.span(
+            "federation.round", message=kind, rows=int(rows.size)
+        ) as span:
+            blocks = self._exchange_inner(kind, rows)
+            span["parties"] = len(blocks)
+            return blocks
+
+    def _exchange_inner(self, kind: str, rows: np.ndarray) -> dict[int, np.ndarray]:
         if self.resilience is not None:
             return self._resilient_round(kind, rows)
         return _exchange_round(
@@ -308,6 +333,13 @@ class FederationRuntime:
                     break
                 if attempt > 0:
                     transport.ledger.record_retries(len(pending))
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "resilience.retry_wave",
+                            round=int(round_id),
+                            attempt=attempt,
+                            pending=[int(p) for p in pending],
+                        )
                     resilience.clock.advance(
                         max(policy.backoff(p, round_id, attempt) for p in pending)
                     )
@@ -452,6 +484,13 @@ class FederationRuntime:
                 "strategy": self.degradation,
             }
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                "federation.degraded",
+                round=int(round_id),
+                missing=[int(p) for p in missing],
+                strategy=self.degradation,
+            )
         return blocks
 
     def _passive_by_id(self, party_id: int) -> PassivePartyNode:
@@ -502,10 +541,15 @@ class FederationRuntime:
         """Release scheduler workers (idempotent; safe to skip for GC)."""
         self.scheduler.close()
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+    def __repr__(self) -> str:
+        spans = 0 if self.tracer is None else self.tracer.records_emitted
+        degraded = (
+            0 if self.resilience is None else len(self.resilience.availability)
+        )
         return (
             f"FederationRuntime(parties={self.n_parties}, "
-            f"scheduler={self.scheduler.name!r}, ledger={self.ledger!r})"
+            f"scheduler={self.scheduler.name!r}, rounds={self.ledger.rounds}, "
+            f"degraded={degraded}, spans={spans})"
         )
 
 
@@ -524,6 +568,7 @@ def train_vertical_runtime(
     retry: "RetryPolicy | int | dict | None" = None,
     quorum: "int | float | None" = None,
     degradation: str = "zero_fill",
+    tracer=None,
 ) -> FederationRuntime:
     """Train through a metered protocol round and deploy the runtime.
 
@@ -571,5 +616,6 @@ def train_vertical_runtime(
         retry=retry,
         quorum=quorum,
         degradation=degradation,
+        tracer=tracer,
         _transport=transport,
     )

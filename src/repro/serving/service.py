@@ -181,6 +181,14 @@ class PredictionService:
         refusals instead of spending protocol rounds, with half-open
         probes after the cooldown (see
         :class:`~repro.resilience.CircuitBreaker`).
+    tracer:
+        A :class:`~repro.telemetry.Tracer` to report into: one
+        ``serving.query`` span per request, one ``serving.chunk`` span
+        per protocol round, ``breaker.transition`` events whenever a
+        consumer's breaker changes state, ``checkpoint.snapshot``
+        events on checkpointed accumulation, and cache-hit/refusal
+        counters. ``None`` (default) traces nothing and adds no work
+        on the hot path.
     """
 
     def __init__(
@@ -198,6 +206,7 @@ class PredictionService:
         exhaustion: str = "raise",
         breaker: "BreakerPolicy | int | dict | None" = None,
         runtime=None,
+        tracer=None,
     ) -> None:
         if ledger is not None and query_budget is not None:
             raise ValidationError(
@@ -237,6 +246,7 @@ class PredictionService:
         self.exhaustion = exhaustion
         self.breaker_policy = BreakerPolicy.from_spec(breaker)
         self._breakers: dict[str, CircuitBreaker] = {}
+        self.tracer = tracer
         # Fingerprint chunks once, here, when any stacked defense consumes
         # hashes (e.g. query_audit) — not once per defense per chunk.
         self._wants_hashes = defense_stack is not None and any(
@@ -335,10 +345,31 @@ class PredictionService:
         indices = np.asarray(sample_indices, dtype=np.int64).ravel()
         if indices.size == 0:
             raise ProtocolError("prediction request with no sample ids")
+        if self.tracer is None:
+            return self._query_gated(indices, consumer, checkpoint)
+        with self.tracer.span(
+            "serving.query", consumer=consumer, rows=int(indices.size)
+        ) as span:
+            result = self._query_gated(indices, consumer, checkpoint)
+            span["served"] = int(result.shape[0])
+            return result
+
+    def _query_gated(
+        self,
+        indices: np.ndarray,
+        consumer: str,
+        checkpoint: "CheckpointPlan | None",
+    ) -> np.ndarray:
+        """The breaker gate in front of the query body."""
         if self.breaker_policy is None:
             return self._query_dispatch(indices, consumer, checkpoint)
         breaker = self._breaker_for(consumer)
-        if not breaker.allow():
+        before = breaker.state
+        allowed = breaker.allow()
+        self._trace_breaker(consumer, breaker, before)
+        if not allowed:
+            if self.tracer is not None:
+                self.tracer.count("serving.refusals")
             raise ServiceUnavailableError(
                 f"circuit breaker for consumer {consumer!r} is open after "
                 f"{breaker.failures} consecutive runtime failure(s); "
@@ -348,14 +379,36 @@ class PredictionService:
         try:
             result = self._query_dispatch(indices, consumer, checkpoint)
         except PartyUnavailableError as exc:
+            before = breaker.state
             breaker.record_failure()
+            self._trace_breaker(consumer, breaker, before)
             raise ServiceUnavailableError(
                 f"query for consumer {consumer!r} failed against the "
                 f"federation runtime ({exc}); the circuit breaker is now "
                 f"{breaker.state!r}"
             ) from exc
+        before = breaker.state
         breaker.record_success()
+        self._trace_breaker(consumer, breaker, before)
         return result
+
+    def _trace_breaker(
+        self, consumer: str, breaker: CircuitBreaker, before: str
+    ) -> None:
+        """Emit a ``breaker.transition`` event when the state moved.
+
+        The breaker lives one DAG rank below telemetry, so the serving
+        layer observes transitions from outside rather than having the
+        breaker report upward.
+        """
+        if self.tracer is not None and breaker.state != before:
+            self.tracer.event(
+                "breaker.transition",
+                consumer=consumer,
+                from_state=before,
+                to_state=breaker.state,
+                failures=breaker.failures,
+            )
 
     def _breaker_for(self, consumer: str) -> CircuitBreaker:
         """The (lazily created) breaker gating ``consumer``'s queries."""
@@ -415,6 +468,10 @@ class PredictionService:
         # identical to snapshots written before the resilience layer.
         if self.breaker_policy is not None:
             serving["breaker"] = self.breaker_policy.to_payload()
+        # Same rule for telemetry: traced and untraced runs may not
+        # share snapshots (the trace would silently lose records).
+        if self.tracer is not None:
+            serving["telemetry"] = True
         return content_fingerprint(
             {
                 "serving": serving,
@@ -445,6 +502,8 @@ class PredictionService:
         if self.breaker_policy is not None:
             for name, breaker in self._breakers.items():
                 fragments[f"breaker:{name}"] = capture_state(breaker)
+        if self.tracer is not None:
+            fragments["telemetry"] = capture_state(self.tracer)
         return fragments
 
     def restore_serving_fragments(self, fragments: dict) -> None:
@@ -499,6 +558,14 @@ class PredictionService:
                     "has none"
                 )
             restore_state(self.rng, fragments["rng"])
+        if "telemetry" in fragments:
+            if self.tracer is None:
+                raise CheckpointError(
+                    "snapshot holds tracer state but this service has no "
+                    "tracer attached; rerun with the same telemetry knob "
+                    "the snapshot was written under"
+                )
+            restore_state(self.tracer, fragments["telemetry"])
 
     def _query_fragments(self, blocks: "list[np.ndarray]") -> dict:
         """Snapshot fragments for one chunk boundary of an accumulation."""
@@ -549,9 +616,20 @@ class PredictionService:
             if block.size:
                 blocks.append(block)
             done = exhausted
+
+            def fragments(chunk_index: int = chunk_index) -> dict:
+                # The snapshot event precedes the tracer capture inside
+                # _query_fragments, so the captured seq counts it and a
+                # resumed trace lines up record for record.
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "checkpoint.snapshot", scope="serving", chunk=chunk_index
+                    )
+                return self._query_fragments(blocks)
+
             checkpoint.maybe_emit(
                 chunk_index,
-                lambda: self._query_fragments(blocks),
+                fragments,
                 meta={"next_start": start + step, "done": done},
             )
         if not blocks:
@@ -566,6 +644,19 @@ class PredictionService:
         self, chunk: np.ndarray, consumer: str
     ) -> tuple[np.ndarray, bool]:
         """Serve one ``max_batch``-sized chunk; True means budget exhausted."""
+        if self.tracer is None:
+            return self._serve_chunk_inner(chunk, consumer)
+        with self.tracer.span(
+            "serving.chunk", consumer=consumer, rows=int(chunk.size)
+        ) as span:
+            block, exhausted = self._serve_chunk_inner(chunk, consumer)
+            span["served"] = int(block.shape[0])
+            span["exhausted"] = bool(exhausted)
+            return block, exhausted
+
+    def _serve_chunk_inner(
+        self, chunk: np.ndarray, consumer: str
+    ) -> tuple[np.ndarray, bool]:
         hashes = (
             self.vfl.sample_hashes(chunk)
             if self._caches is not None or self._wants_hashes
@@ -648,6 +739,8 @@ class PredictionService:
             self.ledger.record_evictions(evicted, consumer)
         if hit_pos:
             self.ledger.record_cache_hits(len(hit_pos), consumer)
+            if self.tracer is not None:
+                self.tracer.count("serving.cache_hits", len(hit_pos))
         return rows, cutoff < chunk.size
 
     def _protocol_predict(self, indices: np.ndarray) -> np.ndarray:
@@ -703,9 +796,16 @@ class PredictionService:
         )
         return stack.on_query(responses, context)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+    def __repr__(self) -> str:
+        spans = 0 if self.tracer is None else self.tracer.records_emitted
+        breakers = (
+            "off"
+            if self.breaker_policy is None
+            else {name: b.state for name, b in sorted(self._breakers.items())}
+        )
         return (
             f"PredictionService(n_samples={self.n_samples}, "
             f"max_batch={self.max_batch}, cache={self.cache_enabled}, "
-            f"ledger={self.ledger!r})"
+            f"queries_used={self.ledger.queries_used}, "
+            f"spans={spans}, breakers={breakers})"
         )

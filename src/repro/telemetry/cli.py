@@ -1,0 +1,174 @@
+"""``repro-trace``: inspect recorded JSONL traces from the command line.
+
+Three subcommands::
+
+    repro-trace summarize RUN.jsonl            # per-kind count/total/self table
+    repro-trace critical-path RUN.jsonl        # slowest chain through a round
+    repro-trace diff A.jsonl B.jsonl           # compare, ignoring wall fields
+
+``summarize`` aggregates every record by kind: how many, total ticks
+(logical open→close distance), self ticks (total minus direct
+children), and total simulated seconds where a clock was bound.
+``critical-path`` picks the slowest span of the requested kind
+(``federation.round`` by default, falling back to the slowest root) and
+descends through the slowest child at each level. ``diff`` compares two
+traces record by record with every ``wall`` field stripped — the
+determinism contract in executable form; exit code 1 on divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+from repro.telemetry.sinks import load_trace
+
+__all__ = ["main", "summarize_lines", "critical_path", "trace_diff"]
+
+
+def _ticks(record: dict[str, Any]) -> int:
+    return int(record["t1"]) - int(record["t0"])
+
+
+def _sim(record: dict[str, Any]) -> float:
+    if record["sim0"] is None or record["sim1"] is None:
+        return 0.0
+    return float(record["sim1"]) - float(record["sim0"])
+
+
+def _children(records: list[dict[str, Any]]) -> dict[Any, list[dict[str, Any]]]:
+    children: dict[Any, list[dict[str, Any]]] = {}
+    for record in records:
+        children.setdefault(record["parent"], []).append(record)
+    return children
+
+
+def summarize_lines(records: list[dict[str, Any]]) -> list[str]:
+    """The ``summarize`` table as printable lines."""
+    children = _children(records)
+    per_kind: dict[str, dict[str, float]] = {}
+    for record in records:
+        row = per_kind.setdefault(
+            record["kind"], {"count": 0, "ticks": 0, "self": 0, "sim": 0.0, "wall": 0.0}
+        )
+        ticks = _ticks(record)
+        child_ticks = sum(_ticks(c) for c in children.get(record["span"], []))
+        row["count"] += 1
+        row["ticks"] += ticks
+        row["self"] += ticks - child_ticks
+        row["sim"] += _sim(record)
+        if record.get("wall") is not None:
+            row["wall"] += float(record["wall"])
+    header = f"{'kind':<24} {'count':>7} {'ticks':>8} {'self':>8} {'sim_s':>10} {'wall_s':>10}"
+    lines = [header, "-" * len(header)]
+    for kind in sorted(per_kind):
+        row = per_kind[kind]
+        lines.append(
+            f"{kind:<24} {int(row['count']):>7} {int(row['ticks']):>8} "
+            f"{int(row['self']):>8} {row['sim']:>10.3f} {row['wall']:>10.3f}"
+        )
+    lines.append(f"{len(records)} records, {len(per_kind)} kinds")
+    return lines
+
+
+def critical_path(
+    records: list[dict[str, Any]], kind: str = "federation.round"
+) -> list[dict[str, Any]]:
+    """The slowest chain: worst span of ``kind``, then worst child, down.
+
+    Falls back to the slowest root span when no record of ``kind``
+    exists; returns ``[]`` for an empty trace.
+    """
+    children = _children(records)
+    candidates = [r for r in records if r["kind"] == kind]
+    if not candidates:
+        candidates = [r for r in records if r["parent"] is None]
+    if not candidates:
+        return []
+    node = max(candidates, key=lambda r: (_ticks(r), _sim(r), -r["seq"]))
+    path = [node]
+    while True:
+        below = [c for c in children.get(node["span"], []) if c["type"] == "span"]
+        if not below:
+            return path
+        node = max(below, key=lambda r: (_ticks(r), _sim(r), -r["seq"]))
+        path.append(node)
+
+
+def _canonical(record: dict[str, Any]) -> dict[str, Any]:
+    return {key: value for key, value in record.items() if key != "wall"}
+
+
+def trace_diff(
+    a: list[dict[str, Any]], b: list[dict[str, Any]]
+) -> "tuple[int, dict[str, Any] | None, dict[str, Any] | None] | None":
+    """First divergence between two traces, wall fields ignored.
+
+    Returns ``None`` when identical, else ``(index, record_a, record_b)``
+    with ``None`` standing in for a missing record past the shorter end.
+    """
+    for i in range(max(len(a), len(b))):
+        left = _canonical(a[i]) if i < len(a) else None
+        right = _canonical(b[i]) if i < len(b) else None
+        if left != right:
+            return i, left, right
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-kind count/total/self-time table")
+    p_sum.add_argument("trace", help="JSONL trace file")
+
+    p_crit = sub.add_parser("critical-path", help="slowest chain through a round")
+    p_crit.add_argument("trace", help="JSONL trace file")
+    p_crit.add_argument(
+        "--kind",
+        default="federation.round",
+        help="span kind to start from (default: federation.round)",
+    )
+
+    p_diff = sub.add_parser("diff", help="compare two traces, ignoring wall fields")
+    p_diff.add_argument("trace_a", help="first JSONL trace file")
+    p_diff.add_argument("trace_b", help="second JSONL trace file")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        for line in summarize_lines(load_trace(args.trace)):
+            print(line)
+        return 0
+
+    if args.command == "critical-path":
+        path = critical_path(load_trace(args.trace), kind=args.kind)
+        if not path:
+            print("empty trace")
+            return 0
+        for depth, record in enumerate(path):
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(record["attrs"].items())
+            )
+            print(
+                f"{'  ' * depth}{record['kind']} [span {record['span']}] "
+                f"ticks={_ticks(record)} sim={_sim(record):.3f}"
+                + (f" {attrs}" if attrs else "")
+            )
+        return 0
+
+    divergence = trace_diff(load_trace(args.trace_a), load_trace(args.trace_b))
+    if divergence is None:
+        print("traces identical (wall fields ignored)")
+        return 0
+    index, left, right = divergence
+    print(f"traces diverge at record {index}:")
+    print(f"  a: {left}")
+    print(f"  b: {right}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Trace sinks: where emitted records go.
+
+Two registered sinks cover every use:
+
+- ``"memory"`` — :class:`MemorySink`, a plain list; the default for
+  tests, benchmarks, and in-process summaries.
+- ``"jsonl"`` — :class:`JsonlSink`, one JSON object per line, appended
+  and fsync'd per record with the same crash-safety idiom as
+  :class:`~repro.experiments.ResultsStore`: a SIGKILL mid-write leaves
+  at most one partial trailing line, which the next open quarantines
+  with an atomic rewrite.
+
+The JSONL sink is *resume-aware by sequence number*: every record
+carries the tracer's monotone ``seq``, and a record whose ``seq`` is
+already durable in the file is skipped instead of re-appended. A
+resumed run therefore replays its deterministic prefix (scenario
+rebuild, fast-forwarded rounds) without duplicating lines, and the
+final file is byte-identical to an uninterrupted run's — the
+concatenation contract the kill-resume smoke proves end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import TelemetryError
+from repro.utils.registry import Registry
+
+__all__ = ["TRACE_SINKS", "TraceSink", "MemorySink", "JsonlSink", "load_trace"]
+
+#: Registry of trace sink factories, keyed by the ``telemetry`` knob's
+#: ``sink`` name.
+TRACE_SINKS = Registry("trace sink")
+
+
+class TraceSink:
+    """Base class: a destination for emitted trace records."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Persist one record. Records arrive in strictly increasing ``seq``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources. Idempotent."""
+
+
+@TRACE_SINKS.register("memory")
+class MemorySink(TraceSink):
+    """Append every record to an in-process list (``.records``)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all held records (benchmark reuse)."""
+        self.records = []
+
+
+@TRACE_SINKS.register("jsonl")
+class JsonlSink(TraceSink):
+    """Append-only JSONL trace file, fsync'd per record, resume-aware.
+
+    On open, the existing file is scanned: decodable lines count as
+    durable records, a partial trailing line (torn write from a kill)
+    is quarantined by atomic rewrite. Emits whose ``seq`` falls below
+    the durable count are skipped — under the determinism contract they
+    are byte-for-byte the lines already on disk — and a ``seq`` beyond
+    the durable count plus the skips is a corrupted resume, refused
+    loudly.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._committed = self._repair()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _repair(self) -> int:
+        """Count durable records, quarantining a torn trailing line."""
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes()
+        if not raw:
+            return 0
+        lines = raw.split(b"\n")
+        tail = lines.pop()  # b"" when the file ends in a newline
+        good = []
+        for line in lines:
+            try:
+                json.loads(line)
+            except ValueError:
+                tail = line  # torn mid-file line: cut here
+                break
+            good.append(line)
+        if tail == b"" and len(good) == len(lines):
+            return len(good)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            for line in good:
+                fh.write(line + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return len(good)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        seq = record["seq"]
+        if seq < self._committed:
+            return  # deterministic replay of an already-durable record
+        if seq > self._committed:
+            raise TelemetryError(
+                f"trace record seq {seq} skips ahead of the {self._committed} "
+                f"durable records in {self.path}; the trace file does not "
+                "belong to this run — point the tracer at a fresh path"
+            )
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._committed += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def load_trace(path: "str | Path") -> list[dict[str, Any]]:
+    """Read a JSONL trace back as a list of records.
+
+    Tolerates one torn trailing line (dropped), same as the sink's own
+    repair; any earlier undecodable line raises
+    :class:`~repro.exceptions.TelemetryError`.
+    """
+    records: list[dict[str, Any]] = []
+    lines = Path(path).read_bytes().split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if i == len(lines) - 1:
+                break  # torn trailing line from a kill
+            raise TelemetryError(
+                f"{path}: line {i + 1} is not valid JSON mid-file; "
+                "the trace is corrupt"
+            ) from None
+    return records

@@ -1,0 +1,99 @@
+"""Checkpoint codec for tracer state: a resumed trace concatenates exactly.
+
+Registered in :data:`repro.checkpoint.CHECKPOINTS` on telemetry-package
+import. The codec captures every deterministic counter a
+:class:`~repro.telemetry.Tracer` holds — next span id, tick, step, seq,
+named counters, per-kind record counts — plus the *open-span stack*:
+a snapshot taken mid-span (the serving accumulation suspends inside
+``scenario.build``, GRNA inside its epoch loop) must restore the
+enclosing spans so their eventual closes emit with the original ids,
+ticks, and attrs. The resumed process's own rebuild spans are popped
+and replaced wholesale; combined with the JSONL sink's skip-by-seq
+append policy, the resumed file ends up byte-identical to an
+uninterrupted run's.
+
+The bound clock callable and the sink are deliberately *not* state:
+both are live wiring the owner re-establishes after restore (the
+resilience codec replaces the SimClock object itself, so a captured
+reference would dangle).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.checkpoint.codec import CHECKPOINTS, StateCodec
+from repro.telemetry.tracer import Tracer, TraceSpan
+
+__all__ = ["TracerCodec"]
+
+
+@CHECKPOINTS.register("telemetry/tracer")
+class TracerCodec(StateCodec):
+    """Snapshot a :class:`Tracer`: counters, seq position, open spans."""
+
+    kind = "telemetry/tracer"
+    target = Tracer
+    state_fields = (
+        "_next_span",
+        "_tick",
+        "_step",
+        "_seq",
+        "_counters",
+        "_by_kind",
+        "_stack",
+        "_sim_last",
+    )
+
+    def capture(self, obj: Any) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        meta = {
+            "next_span": obj._next_span,
+            "tick": obj._tick,
+            "step": obj._step,
+            "seq": obj._seq,
+            "counters": dict(obj._counters),
+            "by_kind": dict(obj._by_kind),
+            "sim_last": obj._sim_last,
+            "stack": [
+                {
+                    "span": span.span,
+                    "kind": span.kind,
+                    "step": span.step,
+                    "t0": span.t0,
+                    "sim0": span.sim0,
+                    "attrs": dict(span.attrs),
+                }
+                for span in obj._stack
+            ],
+        }
+        return meta, {}
+
+    def restore(
+        self, obj: Any, meta: dict[str, Any], arrays: dict[str, np.ndarray]
+    ) -> None:
+        obj._next_span = int(meta["next_span"])
+        obj._tick = int(meta["tick"])
+        obj._step = int(meta["step"])
+        obj._seq = int(meta["seq"])
+        obj._counters = {name: int(n) for name, n in meta["counters"].items()}
+        obj._by_kind = {kind: int(n) for kind, n in meta["by_kind"].items()}
+        obj._sim_last = (
+            None if meta["sim_last"] is None else float(meta["sim_last"])
+        )
+        # Wall open-times restart now: durations of spans that straddle
+        # a resume are meaningless, and the wall field is quarantined
+        # from every determinism check anyway.
+        obj._stack = [
+            TraceSpan(
+                span=int(entry["span"]),
+                kind=entry["kind"],
+                step=int(entry["step"]),
+                t0=int(entry["t0"]),
+                sim0=None if entry["sim0"] is None else float(entry["sim0"]),
+                attrs=dict(entry["attrs"]),
+                wall0=obj._wall_now(),
+            )
+            for entry in meta["stack"]
+        ]

@@ -1,0 +1,29 @@
+"""Wall-clock quarantine: the only telemetry code allowed to read real time.
+
+The determinism contract bans wall-clock sources everywhere outside the
+benchmark timing tier (the ``wallclock-entropy`` lint rule). Telemetry
+still wants wall durations — profiling a federation round is the whole
+point — so this module is the single sanctioned leak: it is listed in
+:data:`repro.analysis.config.DEFAULT_TIMING_MODULES`, and everything it
+returns is quarantined in the trace record's ``wall`` field, which the
+canonical tooling (``repro-trace diff``, the determinism oracles)
+ignores. The rest of :mod:`repro.telemetry` never touches a wall clock;
+a tracer constructed with ``wall=False`` (the default) calls nothing in
+this module and emits ``wall: null`` on every record.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["now"]
+
+
+def now() -> float:
+    """Seconds since the epoch, from the real (non-deterministic) clock.
+
+    Deliberately ``time.time`` — a banned call everywhere else — so the
+    lint timing tier provably fences the only wall-clock read telemetry
+    performs.
+    """
+    return time.time()

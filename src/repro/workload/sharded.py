@@ -50,6 +50,7 @@ from repro.exceptions import (
 from repro.federated.model import VerticalFLModel
 from repro.serving.ledger import QueryLedger
 from repro.serving.service import PredictionService
+from repro.telemetry import MemorySink, Tracer
 from repro.utils.random import spawn_rngs
 from repro.utils.validation import check_positive_int
 from repro.workload.trace import TrafficTrace
@@ -225,6 +226,15 @@ class ShardedPredictionService:
         ``None`` (default) disables breaking. During replay a breaker
         refusal counts in the report's ``refusals`` like a budget
         refusal — the shard keeps serving its other consumers.
+    tracer:
+        Coordinator :class:`~repro.telemetry.Tracer` for the
+        ``workload.replay`` span. When given, every shard additionally
+        gets its **own** memory-sink tracer (share-nothing, like the
+        ledgers), stamped with the global trace event index as the
+        record ``step`` — :meth:`merged_trace` merges them back in
+        ``(step, seq)`` order, which is invariant to both the replay
+        mode and (on consumer-scoped ``(step, kind, attrs)`` content)
+        the shard count.
     """
 
     def __init__(
@@ -241,10 +251,12 @@ class ShardedPredictionService:
         exhaustion: str = "raise",
         seed: int = 0,
         breaker: "int | dict | None" = None,
+        tracer=None,
     ) -> None:
         self.vfl = vfl
         self.n_shards = check_positive_int(n_shards, name="n_shards")
         self.defense_specs = tuple(defense_specs)
+        self.tracer = tracer
         rngs = spawn_rngs(seed, self.n_shards)
         self.shards: list[PredictionService] = []
         for shard_rng in rngs:
@@ -265,6 +277,9 @@ class ShardedPredictionService:
                     rng=shard_rng,
                     exhaustion=exhaustion,
                     breaker=breaker,
+                    # Share-nothing telemetry: concurrent shard workers
+                    # must never race one tracer's counters.
+                    tracer=Tracer(MemorySink()) if tracer is not None else None,
                 )
             )
 
@@ -325,6 +340,21 @@ class ShardedPredictionService:
                     "tallies are not snapshotted, so a resumed replay could "
                     "diverge silently"
                 )
+        if self.tracer is None:
+            return self._replay_inner(trace, mode, checkpoint)
+        # The replay mode is deliberately not a span attr: the threaded
+        # and the serial replay of one trace produce identical records.
+        with self.tracer.span("workload.replay", events=int(trace.n_events)) as span:
+            report = self._replay_inner(trace, mode, checkpoint)
+            span["refused"] = int(sum(report.refusals.values()))
+            return report
+
+    def _replay_inner(
+        self,
+        trace: TrafficTrace,
+        mode: str,
+        checkpoint: "CheckpointPlan | None",
+    ) -> WorkloadReport:
         pins = np.fromiter(
             (shard_of(name, self.n_shards) for name in trace.names),
             dtype=np.int64,
@@ -400,6 +430,9 @@ class ShardedPredictionService:
                         if lead.breaker_policy is not None
                         else {}
                     ),
+                    # Only when traced: the shard fragments then carry
+                    # tracer counters an untraced resume would drop.
+                    **({"telemetry": True} if self.tracer is not None else {}),
                 },
                 "trace": {
                     "times": trace.times,
@@ -494,10 +527,16 @@ class ShardedPredictionService:
         offsets = trace.offsets
         sample_ids = trace.sample_ids
         query = service.query
+        tracer = service.tracer
         if refused is None:
             refused = {}
         for cursor in range(start, events.size):
             i = events[cursor]
+            if tracer is not None:
+                # Stamp the *global* trace event index, not the
+                # shard-local cursor: it survives re-pinning, so merged
+                # records can be compared across shard counts.
+                tracer.step = int(i)
             name = names[consumer_ids[i]]
             try:
                 query(sample_ids[offsets[i] : offsets[i + 1]], consumer=name)
@@ -508,6 +547,23 @@ class ShardedPredictionService:
             if on_event is not None:
                 on_event(cursor)
         return refused
+
+    def merged_trace(self) -> "list[dict[str, Any]]":
+        """Every shard's records, merged in ``(step, seq)`` order.
+
+        A consumer is pinned to one shard, so records sharing a step
+        come from one shard and their local ``seq`` order is the true
+        order; across steps the global trace event index dominates. On
+        consumer-scoped content — ``(step, kind, attrs)`` — the merge is
+        invariant to the shard count; ``span``/``seq``/tick fields are
+        shard-local and legitimately depend on the layout.
+        """
+        records: list[dict[str, Any]] = []
+        for service in self.shards:
+            if service.tracer is not None:
+                records.extend(service.tracer.sink.records)
+        records.sort(key=lambda r: (r["step"], r["seq"]))
+        return records
 
     def audit_report(self) -> dict[str, Any]:
         """Merged ``query_audit`` tallies across every shard's stack.

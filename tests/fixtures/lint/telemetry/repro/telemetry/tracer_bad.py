@@ -1,0 +1,12 @@
+"""Fixture: a tracer sibling reading the wall clock directly — flagged.
+
+Only ``repro.telemetry.wall`` sits in the timing tier; record content
+must never depend on real time, so this module's ``time.time()`` is a
+wallclock-entropy finding.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: the quarantined wall-clock reader, allowed by the timing tier."""
+
+import time
+
+
+def wall_now() -> float:
+    return time.time()

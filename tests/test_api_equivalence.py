@@ -621,3 +621,56 @@ class TestCheckpointEquivalence:
                 ),
                 serving_checkpoint=CheckpointPlan(tmp_path),
             )
+
+
+class TestTelemetryEquivalence:
+    """Tracing is observational: the knob changes no number anywhere.
+
+    The telemetry layer rides every hot path (serving chunks, federation
+    rounds, GRNA epochs), so the oracle harness pins its acceptance
+    criterion directly: a traced run's payload is *bit-identical* to the
+    legacy skeleton's, and the default (off) path produces a report with
+    no telemetry at all.
+    """
+
+    def test_fig5_bit_identical_with_tracing_on(self):
+        from repro.api import ScenarioConfig, run_scenario
+
+        for unit in fig5_units(TINY, datasets=("bank",), seed=5):
+            params = unit.kwargs
+            legacy = legacy_fig5_run_unit(unit, TINY)
+            report = run_scenario(
+                ScenarioConfig(
+                    dataset=params["dataset"],
+                    model="lr",
+                    attack="esa",
+                    target_fraction=params["fraction"],
+                    scale=TINY,
+                    seed=unit.seed,
+                    baselines=("uniform", "gaussian"),
+                    telemetry=True,
+                )
+            )
+            assert report.metrics["mse"] == legacy["esa_mse"]
+            assert report.metrics["rg_uniform_mse"] == legacy["rg_uniform_mse"]
+            assert report.metrics["rg_gaussian_mse"] == legacy["rg_gaussian_mse"]
+            assert report.telemetry["records"] > 0
+
+    def test_grna_bit_identical_with_tracing_on(self):
+        from repro.api import ScenarioConfig, run_scenario
+
+        config = dict(
+            dataset="bank",
+            model="nn",
+            attack="grna",
+            target_fraction=0.4,
+            scale=TINY,
+            seed=7,
+        )
+        off = run_scenario(ScenarioConfig(**config))
+        on = run_scenario(ScenarioConfig(**config, telemetry=True))
+        assert on.metrics == off.metrics
+        assert on.queries_used == off.queries_used
+        assert on.comm_cost == off.comm_cost
+        assert off.telemetry == {}
+        assert on.telemetry["by_kind"]["grna.epoch"] == TINY.grna_epochs

@@ -84,6 +84,15 @@ class TestTimingTier:
         )
         assert report.findings == []
 
+    def test_telemetry_wall_module_is_the_only_exempt_reader(self):
+        """The tier exempts exactly repro.telemetry.wall, not its siblings."""
+        root = FIXTURES / "telemetry"
+        report, _ = run_lint(
+            [root / "repro"], root=root, config=OPEN, select=["wallclock-entropy"]
+        )
+        flagged = {Path(f.path).name for f in report.findings}
+        assert flagged == {"tracer_bad.py"}
+
 
 class TestLayering:
     def lint_layering(self):
